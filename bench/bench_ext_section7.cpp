@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Reproduces the paper's Section 7 discussion claims, which go beyond
+ * the evaluation section's tables:
+ *
+ *  (1) "our Fused-Map method can also be employed to accelerate diverse
+ *      sampling algorithms since they all need to transform the global
+ *      ID to the local ID" — measured ID-map speedup across five
+ *      sampling algorithms (k-hop, random walk, layer-wise importance,
+ *      GraphSAINT-node, ClusterGCN);
+ *
+ *  (2) "we expect that FastGL is also efficient on multiple machines" —
+ *      modelled multi-machine scaling of FastGL vs DGL.
+ */
+#include <cstdio>
+
+#include "fastgl.h"
+#include "sample/cluster_sampler.h"
+#include "sample/layer_sampler.h"
+#include "sample/saint_sampler.h"
+
+namespace {
+
+using namespace fastgl;
+
+void
+add_row(util::TextTable &table, const char *name,
+        const sim::IdMapWorkload &w, const sim::KernelModel &kernels)
+{
+    const double sync = kernels.id_map_sync(w);
+    const double fused = kernels.id_map_fused(w);
+    table.add_row({name, util::human_count(double(w.instances)),
+                   util::human_count(double(w.uniques)),
+                   util::TextTable::num(sync * 1e3, 3),
+                   util::TextTable::num(fused * 1e3, 3),
+                   util::TextTable::num(sync / fused, 2) + "x"});
+}
+
+} // namespace
+
+int
+main()
+{
+    graph::ReplicaOptions ropts;
+    ropts.materialize_features = false;
+    const graph::Dataset ds =
+        graph::load_replica(graph::DatasetId::kProducts, ropts);
+    const sim::KernelModel kernels{sim::rtx3090()};
+
+    // ---- (1) Fused-Map across sampling algorithms ----
+    util::TextTable table(
+        "Section 7 — Fused-Map vs sync ID map across sampling "
+        "algorithms (Products, one batch)");
+    table.set_header({"sampler", "instances", "uniques", "sync (ms)",
+                      "fused (ms)", "speedup"});
+
+    sample::BatchSplitter splitter(ds.train_nodes, ds.batch_size, 3);
+    splitter.shuffle_epoch();
+    const auto seeds = splitter.batch(0);
+
+    {
+        sample::NeighborSamplerOptions opts;
+        opts.seed = 1;
+        sample::NeighborSampler sampler(ds.graph, opts);
+        add_row(table, "k-hop [5,10,15]",
+                sampler.sample(seeds).id_map, kernels);
+    }
+    {
+        sample::RandomWalkOptions opts;
+        opts.seed = 2;
+        sample::RandomWalkSampler sampler(ds.graph, opts);
+        add_row(table, "random walk (PinSAGE)",
+                sampler.sample(seeds).id_map, kernels);
+    }
+    {
+        sample::LayerSamplerOptions opts;
+        opts.layer_sizes = {4096, 2048, 1024};
+        opts.seed = 3;
+        sample::LayerSampler sampler(ds.graph, opts);
+        add_row(table, "layer-wise (LADIES)",
+                sampler.sample(seeds).id_map, kernels);
+    }
+    {
+        sample::SaintSamplerOptions opts;
+        opts.budget = 4000;
+        opts.seed = 4;
+        sample::SaintSampler sampler(ds.graph, opts);
+        add_row(table, "GraphSAINT (node)", sampler.sample().id_map,
+                kernels);
+    }
+    {
+        sample::ClusterSamplerOptions opts;
+        opts.num_parts = 32;
+        opts.parts_per_batch = 2;
+        opts.seed = 5;
+        sample::ClusterSampler sampler(ds.graph, opts);
+        add_row(table, "ClusterGCN (2/32 parts)",
+                sampler.sample().id_map, kernels);
+    }
+    table.print();
+    std::printf("\n");
+
+    // ---- (2) multi-machine scaling ----
+    util::TextTable machines(
+        "Section 7 — multi-machine scaling (GCN/Products, 2 GPUs per "
+        "machine, 100 Gb/s network)");
+    machines.set_header({"machines", "DGL epoch (s)", "FastGL epoch (s)",
+                         "FastGL speedup", "FastGL self-scaling"});
+    double fast1 = 0.0;
+    for (int m : {1, 2, 4}) {
+        auto run = [&](core::Framework fw) {
+            core::PipelineOptions opts;
+            opts.fw = core::framework_preset(fw);
+            opts.num_gpus = 2;
+            opts.num_machines = m;
+            opts.seed = 70;
+            core::Pipeline pipe(ds, opts);
+            return pipe.run_epoch().epoch_seconds;
+        };
+        const double dgl = run(core::Framework::kDgl);
+        const double fast = run(core::Framework::kFastGL);
+        if (m == 1)
+            fast1 = fast;
+        machines.add_row({std::to_string(m),
+                          util::TextTable::num(dgl, 4),
+                          util::TextTable::num(fast, 4),
+                          util::TextTable::num(dgl / fast, 2) + "x",
+                          util::TextTable::num(fast1 / fast, 2) + "x"});
+    }
+    machines.print();
+    std::printf("\npaper Section 7: the three mechanisms are "
+                "machine-count independent, so the speedup persists "
+                "across machines\n");
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reproduces paper Figure 16: training-loss convergence of GCN and GIN
+ * on Reddit, FastGL vs DGL (baseline), demonstrating that FastGL's
+ * optimizations do not change the computation's semantics.
+ *
+ * In this reproduction both systems share the numeric substrate by
+ * construction (the Memory-Aware plan changes memory placement, not
+ * values; Match changes what crosses PCIe, not what is computed), so the
+ * experiment trains the real model twice with the two framework
+ * configurations' sampling orders and reports both loss curves — they
+ * must track each other and converge.
+ */
+#include <cstdio>
+
+#include "fastgl.h"
+
+namespace {
+
+using namespace fastgl;
+
+std::vector<double>
+train_losses(const graph::Dataset &ds, compute::ModelType type,
+             uint64_t seed, int epochs)
+{
+    core::TrainerOptions opts;
+    opts.model.type = type;
+    opts.seed = seed;
+    opts.max_batches = 10;
+    opts.learning_rate = 0.01f;
+    core::Trainer trainer(ds, opts);
+    std::vector<double> losses;
+    for (int e = 0; e < epochs; ++e) {
+        const auto stats = trainer.train_epoch();
+        for (double l : stats.iteration_losses)
+            losses.push_back(l);
+    }
+    return losses;
+}
+
+void
+run_model(const graph::Dataset &ds, compute::ModelType type)
+{
+    constexpr int kEpochs = 10;
+    // "DGL" and "FastGL" differ only in mini-batch execution order
+    // (Reorder) — model numerics are identical; seed the two runs with
+    // different sampling orders to emulate that.
+    const auto dgl = train_losses(ds, type, 101, kEpochs);
+    const auto fastgl = train_losses(ds, type, 202, kEpochs);
+
+    util::TextTable table(std::string("Fig.16 — training loss, ") +
+                          compute::model_type_name(type) +
+                          " on Reddit replica");
+    table.set_header({"iteration", "DGL", "FastGL"});
+    const size_t n = std::min(dgl.size(), fastgl.size());
+    for (size_t i = 0; i < n; i += 5) {
+        table.add_row({std::to_string(i),
+                       util::TextTable::num(dgl[i], 4),
+                       util::TextTable::num(fastgl[i], 4)});
+    }
+    table.add_row({"final", util::TextTable::num(dgl.back(), 4),
+                   util::TextTable::num(fastgl.back(), 4)});
+    table.print();
+
+    const double drop_dgl = dgl.front() - dgl.back();
+    const double drop_fast = fastgl.front() - fastgl.back();
+    std::printf("  loss drop: DGL %.4f, FastGL %.4f, final gap %.4f\n\n",
+                drop_dgl, drop_fast,
+                std::abs(dgl.back() - fastgl.back()));
+}
+
+} // namespace
+
+int
+main()
+{
+    graph::ReplicaOptions ropts;
+    ropts.size_factor = 0.5; // keep the numeric run quick
+    ropts.materialize_features = true;
+    const graph::Dataset ds =
+        graph::load_replica(graph::DatasetId::kReddit, ropts);
+
+    run_model(ds, fastgl::compute::ModelType::kGcn);
+    run_model(ds, fastgl::compute::ModelType::kGin);
+    std::printf("paper: FastGL converges to approximately the same loss "
+                "as DGL on both models\n");
+    return 0;
+}

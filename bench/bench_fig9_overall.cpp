@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Reproduces paper Figure 9: end-to-end training speed of GCN, GIN and
+ * GAT over all five datasets on 2 GPUs, comparing DGL, GNNAdvisor,
+ * GNNLab and FastGL (PyG reported separately — it is more than an order
+ * of magnitude slower, as in the paper's text).
+ *
+ * Paper speedups of FastGL: over DGL 1.7-5.1x, over GNNAdvisor 2.9-8.8x,
+ * over GNNLab 1.1-2.0x, over PyG 4.3-28.9x (avg 11.8x).
+ */
+#include <cstdio>
+
+#include "fastgl.h"
+
+namespace {
+
+using namespace fastgl;
+
+double
+epoch_seconds(const graph::Dataset &ds, core::Framework fw,
+              compute::ModelType type)
+{
+    core::PipelineOptions opts;
+    opts.fw = core::framework_preset(fw);
+    opts.num_gpus = 2;
+    opts.model.type = type;
+    opts.seed = 909;
+    core::Pipeline pipe(ds, opts);
+    // Average over a few epochs as the paper does (20 there, 3 here).
+    double total = 0.0;
+    for (int e = 0; e < 3; ++e)
+        total += pipe.run_epoch().epoch_seconds;
+    return total / 3.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    const compute::ModelType models[] = {compute::ModelType::kGcn,
+                                         compute::ModelType::kGin,
+                                         compute::ModelType::kGat};
+
+    util::RunningStat pyg_speedup, dgl_speedup, advisor_speedup,
+        lab_speedup;
+
+    for (compute::ModelType type : models) {
+        util::TextTable table(
+            std::string("Fig.9 — epoch time (s), ") +
+            compute::model_type_name(type) + ", 2 GPUs");
+        table.set_header({"graph", "PyG", "DGL", "GNNAdvisor", "GNNLab",
+                          "FastGL", "vs DGL", "vs GNNLab"});
+        for (graph::DatasetId id : graph::all_datasets()) {
+            graph::ReplicaOptions ropts;
+            ropts.materialize_features = false;
+            const graph::Dataset ds = graph::load_replica(id, ropts);
+
+            const double pyg =
+                epoch_seconds(ds, core::Framework::kPyG, type);
+            const double dgl =
+                epoch_seconds(ds, core::Framework::kDgl, type);
+            const double advisor =
+                epoch_seconds(ds, core::Framework::kGnnAdvisor, type);
+            const double lab =
+                epoch_seconds(ds, core::Framework::kGnnLab, type);
+            const double fast =
+                epoch_seconds(ds, core::Framework::kFastGL, type);
+
+            pyg_speedup.add(pyg / fast);
+            dgl_speedup.add(dgl / fast);
+            advisor_speedup.add(advisor / fast);
+            lab_speedup.add(lab / fast);
+
+            table.add_row(
+                {graph::dataset_short_name(id),
+                 util::TextTable::num(pyg, 3),
+                 util::TextTable::num(dgl, 3),
+                 util::TextTable::num(advisor, 3),
+                 util::TextTable::num(lab, 3),
+                 util::TextTable::num(fast, 3),
+                 util::TextTable::num(dgl / fast, 2) + "x",
+                 util::TextTable::num(lab / fast, 2) + "x"});
+        }
+        table.print();
+        std::printf("\n");
+    }
+
+    std::printf("Average FastGL speedups across models x datasets:\n");
+    std::printf("  vs PyG:        %.1fx (paper avg 11.8x, 4.3-28.9x)\n",
+                pyg_speedup.mean());
+    std::printf("  vs DGL:        %.1fx (paper avg 2.2x, 1.7-5.1x)\n",
+                dgl_speedup.mean());
+    std::printf("  vs GNNAdvisor: %.1fx (paper 2.9-8.8x)\n",
+                advisor_speedup.mean());
+    std::printf("  vs GNNLab:     %.1fx (paper avg 1.5x, 1.1-2.0x)\n",
+                lab_speedup.mean());
+    return 0;
+}

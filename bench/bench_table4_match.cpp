@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reproduces paper Table 4: the average match degree Avg(M_ij) and the
+ * spread ΔM = max - min over one epoch's mini-batches, per dataset, with
+ * uniform 3-hop sampling at the paper's batch-size-to-graph ratio.
+ *
+ * Paper values: RD 93.2% (Δ4.9), PR 71.4% (Δ7.0), MAG 35.3% (Δ4.2),
+ * PA 38.0% (Δ5.3). IGB is not reported in Table 4.
+ */
+#include <cstdio>
+
+#include "fastgl.h"
+
+int
+main()
+{
+    using namespace fastgl;
+
+    util::TextTable table(
+        "Table 4 — match degrees (uniform sampling, scaled batch 8000)");
+    table.set_header({"graph", "Avg(M_ij)", "dM (max-min)", "batches",
+                      "avg subgraph nodes"});
+
+    for (graph::DatasetId id : graph::all_datasets()) {
+        graph::ReplicaOptions ropts;
+        ropts.materialize_features = false;
+        const graph::Dataset ds = graph::load_replica(id, ropts);
+
+        sample::NeighborSamplerOptions sopts;
+        sopts.fanouts = {5, 10, 15};
+        sopts.seed = 17;
+        sample::NeighborSampler sampler(ds.graph, sopts);
+        sample::BatchSplitter splitter(ds.train_nodes, ds.batch_size,
+                                       11);
+        splitter.shuffle_epoch();
+
+        const int64_t batches =
+            std::min<int64_t>(10, splitter.num_batches());
+        std::vector<match::NodeSet> sets;
+        double nodes_sum = 0.0;
+        for (int64_t b = 0; b < batches; ++b) {
+            const auto sg = sampler.sample(splitter.batch(b));
+            nodes_sum += double(sg.num_nodes());
+            sets.emplace_back(sg.nodes);
+        }
+        const auto stats = match::match_degree_stats(sets);
+        table.add_row(
+            {graph::dataset_short_name(id),
+             util::TextTable::num(100.0 * stats.average, 1) + "%",
+             util::TextTable::num(100.0 * stats.delta(), 1) + "%",
+             std::to_string(batches),
+             util::TextTable::num(nodes_sum / double(batches), 0)});
+    }
+    table.print();
+    std::printf("\npaper: RD 93.2%% (d4.9) | PR 71.4%% (d7.0) | "
+                "MAG 35.3%% (d4.2) | PA 38.0%% (d5.3)\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces paper Table 7: memory-IO time per epoch under the PinSAGE
+ * random-walk sampler (walk length 3), comparing DGL (full loads),
+ * FastGL-nG (Match without the Greedy Reorder) and full FastGL, on GCN
+ * with 1 GPU.
+ *
+ * Paper normalised speedups over DGL: RD 2.6/2.9, PR 1.5/1.7,
+ * MAG 1.1/1.3, PA 1.1/1.2 (FastGL-nG / FastGL).
+ */
+#include <cstdio>
+
+#include "fastgl.h"
+
+namespace {
+
+using namespace fastgl;
+
+double
+io_seconds(const graph::Dataset &ds, core::FrameworkConfig fw)
+{
+    core::PipelineOptions opts;
+    opts.fw = std::move(fw);
+    opts.num_gpus = 1;
+    opts.use_random_walk = true;
+    opts.walk.walk_length = 3; // PinSAGE setting
+    opts.seed = 777;
+    core::Pipeline pipe(ds, opts);
+    return pipe.run_epoch().phases.io;
+}
+
+} // namespace
+
+int
+main()
+{
+    util::TextTable table(
+        "Table 7 — memory IO (s/epoch), random-walk sampler (len 3), "
+        "GCN, 1 GPU");
+    table.set_header(
+        {"graph", "DGL", "FastGL-nG", "FastGL", "nG ratio", "ratio"});
+
+    for (graph::DatasetId id :
+         {graph::DatasetId::kReddit, graph::DatasetId::kProducts,
+          graph::DatasetId::kMag, graph::DatasetId::kPapers100M}) {
+        graph::ReplicaOptions ropts;
+        ropts.materialize_features = false;
+        const graph::Dataset ds = graph::load_replica(id, ropts);
+
+        const double dgl = io_seconds(
+            ds, core::framework_preset(core::Framework::kDgl));
+
+        auto ng = core::framework_preset(core::Framework::kFastGL);
+        ng.io = core::IoStrategy::kMatch; // no Greedy Reorder
+        ng.cache_on_top_of_match = false;
+        const double fast_ng = io_seconds(ds, ng);
+
+        auto full = core::framework_preset(core::Framework::kFastGL);
+        full.cache_on_top_of_match = false;
+        const double fast = io_seconds(ds, full);
+
+        table.add_row({graph::dataset_short_name(id),
+                       util::TextTable::num(dgl, 4),
+                       util::TextTable::num(fast_ng, 4),
+                       util::TextTable::num(fast, 4),
+                       util::TextTable::num(dgl / fast_ng, 2) + "x",
+                       util::TextTable::num(dgl / fast, 2) + "x"});
+    }
+    table.print();
+    std::printf("\npaper normalised: RD 2.6/2.9 | PR 1.5/1.7 | "
+                "MAG 1.1/1.3 | PA 1.1/1.2 (nG/full)\n");
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reproduces paper Table 9: GPU memory usage of GCN training on 1 GPU,
+ * DGL vs FastGL, across all five datasets (full-scale analytic
+ * estimates). FastGL stores only the current subgraph's topology on the
+ * GPU (prefetching the next one overlapped with compute), so its usage
+ * is comparable or slightly lower — the paper's point is that
+ * Match-Reorder adds no significant memory overhead.
+ */
+#include <cstdio>
+
+#include "fastgl.h"
+
+int
+main()
+{
+    using namespace fastgl;
+    const uint64_t capacity = sim::rtx3090().global_bytes;
+
+    util::TextTable table(
+        "Table 9 — GPU memory usage (GCN, 1 GPU, full-scale estimate)");
+    table.set_header(
+        {"graph", "DGL", "FastGL", "FastGL/DGL", "paper DGL=FastGL?"});
+
+    for (graph::DatasetId id : graph::all_datasets()) {
+        core::MemoryEstimatorOptions dgl_opts;
+        dgl_opts.hidden_dim = 64; // Section 6.1 model config
+        core::MemoryEstimatorOptions fast_opts = dgl_opts;
+        fast_opts.fastgl_topology_only = true;
+
+        const auto dgl = core::estimate_training_memory(id, dgl_opts);
+        const auto fast =
+            core::estimate_training_memory(id, fast_opts);
+        const uint64_t dgl_used = std::min(dgl.total(), capacity);
+        const uint64_t fast_used = std::min(fast.total(), capacity);
+        table.add_row(
+            {graph::dataset_short_name(id),
+             util::human_bytes(double(dgl_used)),
+             util::human_bytes(double(fast_used)),
+             util::TextTable::num(
+                 double(fast_used) / double(dgl_used), 3),
+             "comparable"});
+    }
+    table.print();
+    std::printf("\npaper: usage comparable on every dataset (e.g. IGB "
+                "23447MB DGL vs 21035MB FastGL)\n");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tuning sampling-based training on a memory-starved billion-edge-class
+ * graph (Papers100M replica) — the regime the paper targets, where no
+ * spare GPU memory exists for feature caches (Table 1) and Match-Reorder
+ * is the only IO lever.
+ *
+ * Sweeps the knobs a practitioner has: reorder window, fanout schedule,
+ * and the host link itself (PCIe 3/4 vs a Grace-Hopper-class 900 GB/s
+ * link, the paper's Section 7 outlook).
+ */
+#include <cstdio>
+
+#include "fastgl.h"
+
+namespace {
+
+using namespace fastgl;
+
+core::EpochResult
+run(const graph::Dataset &ds, const sim::GpuSpec &spec,
+    int reorder_window, std::vector<int> fanouts)
+{
+    core::PipelineOptions opts;
+    opts.fw = core::framework_preset(core::Framework::kFastGL);
+    opts.fw.cache_on_top_of_match = false; // no memory to spare
+    opts.num_gpus = 2;
+    opts.reorder_window = reorder_window;
+    opts.fanouts = std::move(fanouts);
+    opts.seed = 77;
+    opts.max_batches = 24;
+    core::Pipeline pipe(ds, opts, spec);
+    return pipe.run_epoch();
+}
+
+} // namespace
+
+int
+main()
+{
+    graph::ReplicaOptions ropts;
+    ropts.materialize_features = false; // features streamed, not stored
+    const graph::Dataset ds =
+        graph::load_replica(graph::DatasetId::kPapers100M, ropts);
+    std::printf("Papers100M replica: %lld nodes, %lld edges "
+                "(full scale: 111M nodes, 1.6B edges, <1 GB GPU memory "
+                "left per Table 1)\n\n",
+                (long long)ds.graph.num_nodes(),
+                (long long)ds.graph.num_edges());
+
+    // ---- Reorder window sweep ----
+    std::printf("Reorder window sweep (fanouts [5,10,15]):\n");
+    for (int window : {1, 4, 16, 32}) {
+        const auto r = run(ds, sim::rtx3090(), window, {5, 10, 15});
+        std::printf("  window %2d: epoch %.3f ms, rows loaded %lld, "
+                    "reuse %.1f%%\n",
+                    window, r.epoch_seconds * 1e3,
+                    (long long)r.nodes_loaded,
+                    100.0 * r.reuse_fraction());
+    }
+
+    // ---- Fanout schedule sweep ----
+    std::printf("\nFanout schedule sweep (window 16):\n");
+    const std::vector<std::vector<int>> schedules = {
+        {5, 10}, {5, 10, 15}, {10, 15, 25}};
+    for (const auto &schedule : schedules) {
+        const auto r = run(ds, sim::rtx3090(), 16, schedule);
+        std::printf("  [");
+        for (size_t i = 0; i < schedule.size(); ++i)
+            std::printf("%d%s", schedule[i],
+                        i + 1 < schedule.size() ? "," : "");
+        std::printf("]: epoch %.3f ms, sampled instances %lld, "
+                    "io share %.0f%%\n",
+                    r.epoch_seconds * 1e3,
+                    (long long)r.sampled_instances,
+                    100.0 * r.phases.io / r.phases.total());
+    }
+
+    // ---- Host link what-if (paper Section 7) ----
+    std::printf("\nHost link what-if (fanouts [5,10,15], window 16):\n");
+    struct LinkRow
+    {
+        const char *name;
+        sim::GpuSpec spec;
+    };
+    const LinkRow links[] = {
+        {"PCIe 3.0 x16 (16 GB/s)", sim::rtx3090_pcie3()},
+        {"PCIe 4.0 x16 (32 GB/s)", sim::rtx3090()},
+        {"Grace-Hopper-class (900 GB/s)", sim::grace_hopper_like()},
+    };
+    for (const auto &link : links) {
+        const auto r = run(ds, link.spec, 16, {5, 10, 15});
+        std::printf("  %-30s epoch %.3f ms, io share %.0f%%\n",
+                    link.name, r.epoch_seconds * 1e3,
+                    100.0 * r.phases.io / r.phases.total());
+    }
+    std::printf("\nAs the paper's Section 7 predicts: with a "
+                "Grace-Hopper-class link the transfer stage stops "
+                "dominating and the bottleneck moves to host-side data "
+                "organization and sampling.\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Quickstart: the FastGL public API in ~60 lines.
+ *
+ *   1. Load a dataset (here: the Products replica).
+ *   2. Run one modelled epoch under the FastGL preset and print the
+ *      phase breakdown next to the DGL baseline.
+ *   3. Actually train a 3-layer GCN for two epochs with real numerics.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+#include <cstdio>
+
+#include "fastgl.h"
+
+int
+main()
+{
+    using namespace fastgl;
+
+    // ---- 1. Data ----
+    graph::ReplicaOptions ropts;
+    ropts.size_factor = 0.5; // smaller replica: quickstart stays snappy
+    const graph::Dataset ds =
+        graph::load_replica(graph::DatasetId::kProducts, ropts);
+    std::printf("Loaded %s: %lld nodes, %lld edges, %d-dim features, "
+                "%zu training nodes\n\n",
+                ds.name.c_str(), (long long)ds.graph.num_nodes(),
+                (long long)ds.graph.num_edges(), ds.features.dim(),
+                ds.train_nodes.size());
+
+    // ---- 2. Modelled epoch: FastGL vs DGL ----
+    for (core::Framework fw :
+         {core::Framework::kDgl, core::Framework::kFastGL}) {
+        core::PipelineOptions popts;
+        popts.fw = core::framework_preset(fw);
+        popts.num_gpus = 2;
+        core::Pipeline pipeline(ds, popts);
+        const core::EpochResult r = pipeline.run_epoch();
+        std::printf("%-7s epoch %.2f ms | sample %.2f ms, id-map %.2f "
+                    "ms, io %.2f ms, compute %.2f ms | reuse %.0f%%\n",
+                    popts.fw.name.c_str(), r.epoch_seconds * 1e3,
+                    r.phases.sample * 1e3, r.phases.id_map * 1e3,
+                    r.phases.io * 1e3, r.phases.compute * 1e3,
+                    100.0 * r.reuse_fraction());
+    }
+
+    // ---- 3. Real training ----
+    std::printf("\nTraining a 3-layer GCN (real numerics):\n");
+    core::TrainerOptions topts;
+    topts.max_batches = 8;
+    core::Trainer trainer(ds, topts);
+    for (int epoch = 0; epoch < 2; ++epoch) {
+        const core::TrainEpochStats stats = trainer.train_epoch();
+        std::printf("  epoch %d: loss %.4f, accuracy %.3f\n", epoch,
+                    stats.mean_loss, stats.mean_accuracy);
+    }
+    return 0;
+}

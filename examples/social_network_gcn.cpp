@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Social-network node classification — the paper's motivating workload
+ * (Reddit-style community prediction).
+ *
+ * Shows the library's graph-construction API end to end: build a custom
+ * power-law "follower graph" with GraphBuilder/generators, attach
+ * features, train a GCN with the real numeric Trainer, then compare how
+ * the five framework presets would run the same workload.
+ */
+#include <cstdio>
+
+#include "fastgl.h"
+
+int
+main()
+{
+    using namespace fastgl;
+
+    // ---- Build a synthetic social network ----
+    // 30k users, power-law follower counts (exponent 2.1), avg 40
+    // connections: the degree shape that makes Match-Reorder effective.
+    graph::PowerLawParams gen;
+    gen.num_nodes = 30000;
+    gen.avg_degree = 40.0;
+    gen.exponent = 2.1;
+    gen.seed = 99;
+    graph::CsrGraph network = graph::generate_power_law(gen);
+    std::printf("Social network: %lld users, %lld follow edges, max "
+                "degree %lld\n",
+                (long long)network.num_nodes(),
+                (long long)network.num_edges(),
+                (long long)network.max_degree());
+
+    // 64-dim user embeddings, 16 communities to predict.
+    graph::Dataset ds;
+    ds.id = graph::DatasetId::kReddit; // closest preset semantics
+    ds.name = "social-30k";
+    ds.graph = std::move(network);
+    ds.features = graph::FeatureStore(30000, 64, 16, 5);
+    ds.batch_size = 256;
+    ds.scale = 30000.0 / 232965.0;
+    for (graph::NodeId u = 0; u < 30000; u += 2)
+        ds.train_nodes.push_back(u); // 50% labelled users
+
+    // ---- Train for real ----
+    core::TrainerOptions topts;
+    topts.fanouts = {5, 10}; // 2-hop neighbourhood
+    topts.max_batches = 12;
+    topts.learning_rate = 5e-3f;
+    core::Trainer trainer(ds, topts);
+    std::printf("\nTraining 2-layer GCN (64 -> 64 -> 16):\n");
+    for (int epoch = 0; epoch < 3; ++epoch) {
+        const auto stats = trainer.train_epoch();
+        std::printf("  epoch %d: loss %.4f, train acc %.3f\n", epoch,
+                    stats.mean_loss, stats.mean_accuracy);
+    }
+    std::printf("  held-batch accuracy: %.3f\n", trainer.evaluate(4));
+
+    // ---- What would each framework cost? ----
+    std::printf("\nModelled epoch time by framework (2 GPUs):\n");
+    for (core::Framework fw :
+         {core::Framework::kPyG, core::Framework::kDgl,
+          core::Framework::kGnnAdvisor, core::Framework::kGnnLab,
+          core::Framework::kFastGL}) {
+        core::PipelineOptions popts;
+        popts.fw = core::framework_preset(fw);
+        popts.fanouts = {5, 10};
+        popts.num_gpus = 2;
+        core::Pipeline pipeline(ds, popts);
+        const auto r = pipeline.run_epoch();
+        std::printf("  %-11s %8.3f ms (io %5.1f%%, sample %5.1f%%)\n",
+                    popts.fw.name.c_str(), r.epoch_seconds * 1e3,
+                    100.0 * r.phases.io / r.phases.total(),
+                    100.0 * r.phases.sample_total() / r.phases.total());
+    }
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The paper's user-facing aggregation API (Section 5: "we ... warp these
+ * functions into user-friendly APIs, i.e., A3.forward() and
+ * A3.backward(), which are conveniently adopted to build layers for
+ * various GNN models").
+ *
+ * a3::forward dispatches between the tiled Memory-Aware executor and the
+ * reference kernel; a3::backward is the Eq. 5 scatter. Both compute
+ * identical values to the reference ops — the Memory-Aware technique
+ * changes memory placement, never results.
+ */
+#pragma once
+
+#include "compute/aggregate.h"
+#include "compute/memory_aware_exec.h"
+#include "sim/gpu_spec.h"
+
+namespace fastgl {
+namespace compute {
+namespace a3 {
+
+/** Dispatch options for the aggregation APIs. */
+struct Options
+{
+    bool memory_aware = true;        ///< Use the tiled executor.
+    sim::GpuSpec spec = sim::rtx3090();
+    util::ThreadPool *pool = nullptr; ///< Optional block parallelism.
+};
+
+/**
+ * Forward aggregation (Eq. 1). With memory_aware set, plans a geometry
+ * against the device limits and runs the tiled executor; otherwise runs
+ * the reference kernel.
+ */
+inline MemoryAwareStats
+forward(const sample::LayerBlock &block,
+        const std::vector<float> &weights, const Tensor &in, Tensor &out,
+        const Options &opts = {})
+{
+    if (!opts.memory_aware) {
+        aggregate_forward(block, weights, in, out);
+        return {};
+    }
+    graph::EdgeId max_degree = 0;
+    for (int64_t t = 0; t < block.num_targets(); ++t) {
+        max_degree = std::max(max_degree,
+                              block.indptr[t + 1] - block.indptr[t]);
+    }
+    const sim::BlockGeometry geometry =
+        plan_geometry(max_degree, in.cols(), opts.spec);
+    return memory_aware_forward(block, weights, in, out, geometry,
+                                opts.pool);
+}
+
+/** Backward aggregation (Eq. 5): grad_in[src] += w * grad_out[target]. */
+inline void
+backward(const sample::LayerBlock &block,
+         const std::vector<float> &weights, const Tensor &grad_out,
+         Tensor &grad_in)
+{
+    aggregate_backward(block, weights, grad_out, grad_in);
+}
+
+} // namespace a3
+} // namespace compute
+} // namespace fastgl

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Sparse aggregation over a sampled LayerBlock — the paper's Eq. 1
+ * (forward) and Eq. 5 (backward).
+ *
+ * These are the numerically exact CPU implementations; the *timing* of the
+ * equivalent GPU kernels (naive vs Memory-Aware) comes from
+ * sim::KernelModel. Both execution plans compute identical values — the
+ * Memory-Aware technique changes memory placement, never results — so one
+ * numeric kernel serves both.
+ */
+#pragma once
+
+#include <vector>
+
+#include "compute/tensor.h"
+#include "sample/minibatch.h"
+
+namespace fastgl {
+namespace compute {
+
+/**
+ * Forward aggregation (Eq. 1): out[t,:] = Σ_e w[e] * in[src[e],:] for each
+ * target row t of @p block.
+ *
+ * @param block   bipartite sampled block
+ * @param weights per-edge weights, size block.num_edges()
+ * @param in      source features, rows must cover every source local ID
+ * @param out     target buffer [block.num_targets() x in.cols()]
+ */
+void aggregate_forward(const sample::LayerBlock &block,
+                       const std::vector<float> &weights, const Tensor &in,
+                       Tensor &out);
+
+/**
+ * Backward aggregation (Eq. 5): grad_in[src[e],:] += w[e] * grad_out[t,:].
+ * @p grad_in must be pre-sized to the source row count (zeroed by caller
+ * or accumulated across blocks).
+ */
+void aggregate_backward(const sample::LayerBlock &block,
+                        const std::vector<float> &weights,
+                        const Tensor &grad_out, Tensor &grad_in);
+
+/**
+ * Edge-weight gradient: grad_w[e] = <grad_out[t,:], in[src[e],:]>.
+ * Needed by GAT, whose edge weights are learned attention coefficients.
+ */
+void aggregate_backward_weights(const sample::LayerBlock &block,
+                                const Tensor &in, const Tensor &grad_out,
+                                std::vector<float> &grad_weights);
+
+/**
+ * Mean-normalised GCN edge weights: w_uv = 1 / deg(u), where deg is the
+ * sampled in-degree (self loop included).
+ */
+std::vector<float> gcn_edge_weights(const sample::LayerBlock &block);
+
+/** All-ones edge weights (GIN sum aggregator). */
+std::vector<float> unit_edge_weights(const sample::LayerBlock &block);
+
+} // namespace compute
+} // namespace fastgl

@@ -1,0 +1,88 @@
+#include "compute/cache_replay.h"
+
+namespace fastgl {
+namespace compute {
+
+ReplayResult
+replay_naive_aggregation(const sample::LayerBlock &block, int feature_dim,
+                         const sim::GpuSpec &spec, int max_waves)
+{
+    // Address space layout (byte offsets in simulated global memory):
+    //   [features][weights][partial sums]
+    const uint64_t row_bytes = uint64_t(feature_dim) * sizeof(float);
+    // Source rows span the maximum local ID referenced + 1.
+    graph::NodeId max_src = 0;
+    for (graph::NodeId v : block.sources)
+        max_src = std::max(max_src, v);
+    const uint64_t feat_base = 0;
+    const uint64_t weight_base =
+        feat_base + uint64_t(max_src + 1) * row_bytes;
+    const uint64_t psum_base =
+        weight_base + uint64_t(block.num_edges()) * sizeof(float);
+
+    // One SM's L1 sees only its own thread blocks' accesses, while the
+    // device-wide L2 absorbs traffic from every SM. We model SM 0's L1
+    // (targets are distributed round-robin across SMs) and route the
+    // remaining SMs' accesses through L2 only — exactly the filtering the
+    // real hierarchy performs.
+    sim::CacheModel l1(spec.l1_bytes_per_sm, spec.l1_line_bytes, 8);
+    sim::CacheModel l2(spec.l2_bytes, spec.l2_line_bytes, 16);
+    const int num_sms = spec.num_sms;
+
+    // l1_eligible distinguishes plain loads (features, weights — cached
+    // in L1) from the partial-sum atomics, which CUDA resolves in L2 and
+    // never caches in L1.
+    auto touch = [&](int64_t target, uint64_t address, uint64_t bytes,
+                     bool l1_eligible) {
+        const int line = spec.l1_line_bytes;
+        const uint64_t first = address / line;
+        const uint64_t last = (address + bytes - 1) / line;
+        const bool on_sm0 = (target % num_sms) == 0;
+        for (uint64_t l = first; l <= last; ++l) {
+            if (on_sm0 && l1_eligible) {
+                if (!l1.access(l * line))
+                    l2.access(l * line);
+            } else {
+                l2.access(l * line);
+            }
+        }
+    };
+
+    // Wave-interleaved replay: wave w touches edge w of every target that
+    // still has one, mirroring the massive thread-level parallelism that
+    // defeats per-target temporal locality on the real device.
+    const int64_t targets = block.num_targets();
+    int64_t remaining = block.num_edges();
+    int wave = 0;
+    while (remaining > 0 && (max_waves == 0 || wave < max_waves)) {
+        for (int64_t t = 0; t < targets; ++t) {
+            const graph::EdgeId e = block.indptr[t] + wave;
+            if (e >= block.indptr[t + 1])
+                continue;
+            --remaining;
+            const graph::NodeId v = block.sources[e];
+            // Read the source feature row.
+            touch(t, feat_base + uint64_t(v) * row_bytes, row_bytes,
+                  true);
+            // Read the edge weight.
+            touch(t, weight_base + uint64_t(e) * sizeof(float),
+                  sizeof(float), true);
+            // Accumulate into the partial-sum row: atomicAdd traffic,
+            // resolved in L2 (atomics bypass L1 on NVIDIA GPUs).
+            touch(t, psum_base + uint64_t(t) * row_bytes, row_bytes,
+                  false);
+            touch(t, psum_base + uint64_t(t) * row_bytes, row_bytes,
+                  false);
+        }
+        ++wave;
+    }
+
+    ReplayResult result;
+    result.l1_hit_rate = l1.hit_rate();
+    result.l2_hit_rate = l2.hit_rate();
+    result.line_accesses = l1.accesses() + l2.accesses();
+    return result;
+}
+
+} // namespace compute
+} // namespace fastgl

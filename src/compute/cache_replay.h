@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Replays the aggregation kernel's memory access stream through the
+ * simulated L1/L2 hierarchy to measure hit rates (paper Table 2).
+ *
+ * The replay models the real GPU execution shape: thousands of edges are
+ * in flight concurrently across a wave of targets, so consecutive accesses
+ * to any one partial-sum row are separated by the whole wave's working
+ * set — exactly the thrashing behaviour that produces the paper's 4%/20%
+ * L1/L2 hit rates on real hardware.
+ */
+#pragma once
+
+#include "sample/minibatch.h"
+#include "sim/cache_model.h"
+#include "sim/gpu_spec.h"
+
+namespace fastgl {
+namespace compute {
+
+/** Measured hit rates of one replayed aggregation. */
+struct ReplayResult
+{
+    double l1_hit_rate = 0.0;
+    double l2_hit_rate = 0.0;
+    uint64_t line_accesses = 0;
+};
+
+/**
+ * Replay the naive (thread-per-edge, all data in global memory)
+ * aggregation of @p block with @p feature_dim-wide features.
+ *
+ * @param max_waves cap on replay waves for large blocks (0 = no cap);
+ *        hit rates converge after a few waves, so benchmarks cap this.
+ */
+ReplayResult replay_naive_aggregation(const sample::LayerBlock &block,
+                                      int feature_dim,
+                                      const sim::GpuSpec &spec,
+                                      int max_waves = 0);
+
+} // namespace compute
+} // namespace fastgl

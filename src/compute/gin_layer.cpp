@@ -1,0 +1,92 @@
+#include "compute/gin_layer.h"
+
+#include <cmath>
+
+#include "compute/aggregate.h"
+#include "compute/ops.h"
+#include "util/logging.h"
+
+namespace fastgl {
+namespace compute {
+
+GinLayer::GinLayer(int64_t in_dim, int64_t out_dim, bool apply_final_relu,
+                   util::Rng &rng)
+    : in_dim_(in_dim),
+      hidden_dim_(out_dim),
+      out_dim_(out_dim),
+      apply_final_relu_(apply_final_relu)
+{
+    const float s1 =
+        std::sqrt(2.0f / static_cast<float>(in_dim + hidden_dim_));
+    const float s2 =
+        std::sqrt(2.0f / static_cast<float>(hidden_dim_ + out_dim));
+    w1_ = Parameter(Tensor::randn(in_dim, hidden_dim_, rng, s1));
+    b1_ = Parameter(Tensor::zeros(1, hidden_dim_));
+    w2_ = Parameter(Tensor::randn(hidden_dim_, out_dim, rng, s2));
+    b2_ = Parameter(Tensor::zeros(1, out_dim));
+}
+
+Tensor
+GinLayer::forward(const sample::LayerBlock &block, const Tensor &input)
+{
+    FASTGL_CHECK(input.cols() == in_dim_, "gin input dim mismatch");
+    input_rows_ = input.rows();
+    edge_weights_ = unit_edge_weights(block);
+
+    aggregated_ = Tensor(block.num_targets(), in_dim_);
+    aggregate_forward(block, edge_weights_, input, aggregated_);
+
+    hidden_ = Tensor(block.num_targets(), hidden_dim_);
+    gemm(aggregated_, w1_.value, hidden_);
+    add_bias(hidden_, b1_.value);
+    relu_forward(hidden_);
+
+    Tensor out(block.num_targets(), out_dim_);
+    gemm(hidden_, w2_.value, out);
+    add_bias(out, b2_.value);
+    if (apply_final_relu_)
+        relu_forward(out);
+    output_ = out;
+    return out;
+}
+
+Tensor
+GinLayer::backward(const sample::LayerBlock &block,
+                   const Tensor &grad_output)
+{
+    Tensor grad = grad_output;
+    if (apply_final_relu_)
+        relu_backward(output_, grad);
+
+    // Second linear.
+    Tensor grad_w2(hidden_dim_, out_dim_);
+    gemm_ta(hidden_, grad, grad_w2);
+    w2_.grad.add_scaled(grad_w2, 1.0f);
+    bias_backward(grad, b2_.grad);
+
+    Tensor grad_hidden(block.num_targets(), hidden_dim_);
+    gemm_tb(grad, w2_.value, grad_hidden);
+    relu_backward(hidden_, grad_hidden);
+
+    // First linear.
+    Tensor grad_w1(in_dim_, hidden_dim_);
+    gemm_ta(aggregated_, grad_hidden, grad_w1);
+    w1_.grad.add_scaled(grad_w1, 1.0f);
+    bias_backward(grad_hidden, b1_.grad);
+
+    Tensor grad_agg(block.num_targets(), in_dim_);
+    gemm_tb(grad_hidden, w1_.value, grad_agg);
+
+    Tensor grad_input(input_rows_, in_dim_);
+    aggregate_backward(block, edge_weights_, grad_agg, grad_input);
+    return grad_input;
+}
+
+std::vector<Parameter *>
+GinLayer::parameters()
+{
+    return {&w1_, &b1_, &w2_, &b2_};
+}
+
+} // namespace compute
+} // namespace fastgl

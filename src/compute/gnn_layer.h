@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Abstract GNN layer: aggregation (Eq. 1) + update (Eq. 2) over one
+ * sampled LayerBlock, with exact backward passes for training.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compute/tensor.h"
+#include "sample/minibatch.h"
+
+namespace fastgl {
+namespace compute {
+
+/** One GNN layer with stateful forward/backward (stores its context). */
+class GnnLayer
+{
+  public:
+    virtual ~GnnLayer() = default;
+
+    /**
+     * Forward pass over @p block.
+     * @param input features of all source local IDs ([src_rows x in_dim];
+     *        target local IDs index into the same rows)
+     * @return output features [block.num_targets() x out_dim()]
+     */
+    virtual Tensor forward(const sample::LayerBlock &block,
+                           const Tensor &input) = 0;
+
+    /**
+     * Backward pass; must follow the matching forward.
+     * @param grad_output gradient w.r.t. the forward output
+     * @return gradient w.r.t. the forward input (same rows as input)
+     */
+    virtual Tensor backward(const sample::LayerBlock &block,
+                            const Tensor &grad_output) = 0;
+
+    /** Trainable parameters (value + grad pairs). */
+    virtual std::vector<Parameter *> parameters() = 0;
+
+    virtual int64_t in_dim() const = 0;
+    virtual int64_t out_dim() const = 0;
+    virtual std::string name() const = 0;
+};
+
+} // namespace compute
+} // namespace fastgl

@@ -1,0 +1,64 @@
+#include "compute/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fastgl {
+namespace compute {
+
+LossResult
+softmax_cross_entropy(const Tensor &logits, std::span<const int> labels)
+{
+    FASTGL_CHECK(logits.rows() == int64_t(labels.size()),
+                 "label count != logit rows");
+    const int64_t batch = logits.rows();
+    const int64_t classes = logits.cols();
+    FASTGL_CHECK(batch > 0, "empty batch");
+
+    LossResult result;
+    result.grad_logits = Tensor(batch, classes);
+    double loss_sum = 0.0;
+    int64_t correct = 0;
+    const float inv_batch = 1.0f / static_cast<float>(batch);
+
+    for (int64_t r = 0; r < batch; ++r) {
+        const int label = labels[static_cast<size_t>(r)];
+        FASTGL_CHECK(label >= 0 && label < classes, "label out of range");
+        const float *row = logits.data() + r * classes;
+        float *grad = result.grad_logits.data() + r * classes;
+
+        float max_logit = row[0];
+        int64_t argmax = 0;
+        for (int64_t c = 1; c < classes; ++c) {
+            if (row[c] > max_logit) {
+                max_logit = row[c];
+                argmax = c;
+            }
+        }
+        if (argmax == label)
+            ++correct;
+
+        double denom = 0.0;
+        for (int64_t c = 0; c < classes; ++c)
+            denom += std::exp(double(row[c] - max_logit));
+        const double log_denom = std::log(denom);
+        loss_sum -= double(row[label] - max_logit) - log_denom;
+
+        for (int64_t c = 0; c < classes; ++c) {
+            const double p =
+                std::exp(double(row[c] - max_logit)) / denom;
+            grad[c] = static_cast<float>(p) * inv_batch;
+        }
+        grad[label] -= inv_batch;
+    }
+
+    result.loss = loss_sum / static_cast<double>(batch);
+    result.accuracy =
+        static_cast<double>(correct) / static_cast<double>(batch);
+    return result;
+}
+
+} // namespace compute
+} // namespace fastgl

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Softmax cross-entropy loss over the seed-node logits.
+ */
+#pragma once
+
+#include <span>
+
+#include "compute/tensor.h"
+
+namespace fastgl {
+namespace compute {
+
+/** Loss value plus the gradient w.r.t. the logits. */
+struct LossResult
+{
+    double loss = 0.0;      ///< Mean cross entropy over the batch.
+    double accuracy = 0.0;  ///< Fraction of argmax hits.
+    Tensor grad_logits;     ///< d loss / d logits, same shape as logits.
+};
+
+/**
+ * Mean softmax cross entropy.
+ * @param logits [batch x classes]
+ * @param labels batch labels in [0, classes)
+ */
+LossResult softmax_cross_entropy(const Tensor &logits,
+                                 std::span<const int> labels);
+
+} // namespace compute
+} // namespace fastgl

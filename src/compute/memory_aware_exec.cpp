@@ -1,0 +1,145 @@
+#include "compute/memory_aware_exec.h"
+
+#include <atomic>
+
+#include "util/logging.h"
+
+namespace fastgl {
+namespace compute {
+
+sim::BlockGeometry
+plan_geometry(int64_t max_degree, int64_t feature_dim,
+              const sim::GpuSpec &spec)
+{
+    sim::BlockGeometry geometry; // paper default X=8, Y=32
+    geometry.dims_per_block = static_cast<int>(
+        std::min<int64_t>(geometry.dims_per_block, feature_dim));
+    if (geometry.dims_per_block < 1)
+        geometry.dims_per_block = 1;
+    // Shrink X until the staging buffers fit the shared-memory limit.
+    while (geometry.targets_per_block > 1 &&
+           geometry.shared_bytes(double(max_degree)) >
+               spec.shared_limit_per_block) {
+        geometry.targets_per_block /= 2;
+    }
+    FASTGL_CHECK(geometry.threads() <= spec.max_threads_per_block,
+                 "planned geometry exceeds the thread-block limit");
+    return geometry;
+}
+
+namespace {
+
+/**
+ * One thread block: aggregates targets [t_begin, t_end) over dimension
+ * columns [c_begin, c_end), staging weights and partial sums in
+ * block-local buffers (the "shared memory").
+ */
+uint64_t
+run_block(const sample::LayerBlock &block,
+          const std::vector<float> &weights, const Tensor &in,
+          Tensor &out, int64_t t_begin, int64_t t_end, int64_t c_begin,
+          int64_t c_end)
+{
+    const int64_t tile_width = c_end - c_begin;
+
+    // Stage the block's edge weights once ("fetch the weights from the
+    // shared memory" — they are loaded cooperatively at block start).
+    const graph::EdgeId e_begin = block.indptr[t_begin];
+    const graph::EdgeId e_end = block.indptr[t_end];
+    std::vector<float> staged_weights(
+        weights.begin() + e_begin, weights.begin() + e_end);
+
+    // Partial-sum staging: X rows of Y dims, zero-initialised.
+    std::vector<float> staged_psums(
+        static_cast<size_t>((t_end - t_begin) * tile_width), 0.0f);
+
+    for (int64_t t = t_begin; t < t_end; ++t) {
+        float *psum =
+            staged_psums.data() + (t - t_begin) * tile_width;
+        for (graph::EdgeId e = block.indptr[t]; e < block.indptr[t + 1];
+             ++e) {
+            const graph::NodeId v = block.sources[e];
+            // Features come from "global memory" (the input tensor).
+            const float *src = in.data() + v * in.cols() + c_begin;
+            const float w =
+                staged_weights[static_cast<size_t>(e - e_begin)];
+            // Each "thread" owns one dimension: independent FMAs, no
+            // synchronization (paper: "no requirement for thread
+            // synchronizations").
+            for (int64_t c = 0; c < tile_width; ++c)
+                psum[c] += w * src[c];
+        }
+    }
+
+    // Write the finished partial sums back to global memory.
+    for (int64_t t = t_begin; t < t_end; ++t) {
+        float *dst = out.data() + t * out.cols() + c_begin;
+        const float *psum =
+            staged_psums.data() + (t - t_begin) * tile_width;
+        for (int64_t c = 0; c < tile_width; ++c)
+            dst[c] = psum[c];
+    }
+
+    return staged_weights.size() * sizeof(float) +
+           staged_psums.size() * sizeof(float);
+}
+
+} // namespace
+
+MemoryAwareStats
+memory_aware_forward(const sample::LayerBlock &block,
+                     const std::vector<float> &weights, const Tensor &in,
+                     Tensor &out, const sim::BlockGeometry &geometry,
+                     util::ThreadPool *pool)
+{
+    FASTGL_CHECK(int64_t(weights.size()) == block.num_edges(),
+                 "weight count != edge count");
+    FASTGL_CHECK(out.rows() == block.num_targets() &&
+                     out.cols() == in.cols(),
+                 "memory-aware output shape mismatch");
+    const int64_t targets = block.num_targets();
+    const int64_t dim = in.cols();
+    const int64_t x = geometry.targets_per_block;
+    const int64_t y = std::min<int64_t>(geometry.dims_per_block, dim);
+
+    MemoryAwareStats stats;
+    stats.column_tiles = (dim + y - 1) / y;
+    const int64_t target_tiles = (targets + x - 1) / x;
+    stats.blocks_launched = stats.column_tiles * target_tiles;
+
+    std::atomic<uint64_t> max_shared{0};
+    auto run_tile_range = [&](size_t begin, size_t end) {
+        uint64_t local_max = 0;
+        for (size_t tile = begin; tile < end; ++tile) {
+            const int64_t ti = int64_t(tile) / stats.column_tiles;
+            const int64_t ci = int64_t(tile) % stats.column_tiles;
+            const int64_t t_begin = ti * x;
+            const int64_t t_end = std::min(targets, t_begin + x);
+            const int64_t c_begin = ci * y;
+            const int64_t c_end = std::min(dim, c_begin + y);
+            local_max = std::max(
+                local_max, run_block(block, weights, in, out, t_begin,
+                                     t_end, c_begin, c_end));
+        }
+        uint64_t seen = max_shared.load(std::memory_order_relaxed);
+        while (seen < local_max &&
+               !max_shared.compare_exchange_weak(
+                   seen, local_max, std::memory_order_relaxed)) {
+        }
+    };
+
+    const size_t total_tiles =
+        static_cast<size_t>(stats.blocks_launched);
+    if (pool != nullptr) {
+        // Blocks write disjoint (target, column) regions of `out`, so
+        // they are data-race free across workers.
+        pool->parallel_for(total_tiles, run_tile_range);
+    } else {
+        run_tile_range(0, total_tiles);
+    }
+    stats.max_shared_bytes = max_shared.load(std::memory_order_relaxed);
+    return stats;
+}
+
+} // namespace compute
+} // namespace fastgl

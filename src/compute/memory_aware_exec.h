@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Executable Memory-Aware aggregation — the paper's Section 4.2 kernel
+ * structure realised on the CPU, not just its cost model:
+ *
+ *  - the target set is tiled into thread blocks of X targets;
+ *  - each block processes Y feature dimensions per column tile, using
+ *    ceil(d/Y) tiles (the paper's "use ceil(d/Y) thread blocks");
+ *  - per block, the partial sums (4·X·Y bytes) and the edge weights
+ *    (4·X·|N(u)| bytes) are staged in a block-local buffer that stands
+ *    in for shared memory, and the staging footprint is checked against
+ *    the hardware limit exactly as the kernel launch would be;
+ *  - thread blocks are independent, so they run on a thread pool the
+ *    way SMs run CUDA blocks.
+ *
+ * Numerics are bit-identical to compute::aggregate_forward (FMA order
+ * per target is preserved), which the tests verify.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compute/tensor.h"
+#include "sample/minibatch.h"
+#include "sim/kernel_model.h"
+#include "util/thread_pool.h"
+
+namespace fastgl {
+namespace compute {
+
+/** Execution statistics of one tiled launch. */
+struct MemoryAwareStats
+{
+    int64_t blocks_launched = 0;
+    uint64_t max_shared_bytes = 0; ///< High-water staging footprint.
+    int64_t column_tiles = 0;      ///< ceil(d / Y).
+};
+
+/**
+ * Choose a launch geometry satisfying the hardware limits for a block
+ * with the given maximum in-degree and feature dim: start from the
+ * paper's X=8, Y=32 and shrink X until the shared staging fits
+ * (the paper: "through setting the appropriate values of X and Y").
+ */
+sim::BlockGeometry plan_geometry(int64_t max_degree, int64_t feature_dim,
+                                 const sim::GpuSpec &spec);
+
+/**
+ * Tiled Memory-Aware forward aggregation (Eq. 1).
+ *
+ * @param pool optional worker pool; null runs blocks sequentially.
+ * @return execution statistics (staging footprint, blocks).
+ */
+MemoryAwareStats memory_aware_forward(const sample::LayerBlock &block,
+                                      const std::vector<float> &weights,
+                                      const Tensor &in, Tensor &out,
+                                      const sim::BlockGeometry &geometry,
+                                      util::ThreadPool *pool = nullptr);
+
+} // namespace compute
+} // namespace fastgl

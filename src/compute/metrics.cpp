@@ -1,0 +1,106 @@
+#include "compute/metrics.h"
+
+#include "util/logging.h"
+
+namespace fastgl {
+namespace compute {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(num_classes),
+      counts_(static_cast<size_t>(num_classes) * num_classes, 0)
+{
+    FASTGL_CHECK(num_classes > 0, "need at least one class");
+}
+
+void
+ConfusionMatrix::add(int truth, int predicted)
+{
+    FASTGL_CHECK(truth >= 0 && truth < num_classes_,
+                 "truth label out of range");
+    FASTGL_CHECK(predicted >= 0 && predicted < num_classes_,
+                 "prediction out of range");
+    ++counts_[static_cast<size_t>(truth) * num_classes_ + predicted];
+    ++total_;
+}
+
+void
+ConfusionMatrix::add_batch(const Tensor &logits,
+                           std::span<const int> labels)
+{
+    FASTGL_CHECK(logits.rows() == int64_t(labels.size()),
+                 "label count != logit rows");
+    FASTGL_CHECK(logits.cols() == num_classes_,
+                 "logit width != class count");
+    for (int64_t r = 0; r < logits.rows(); ++r) {
+        const float *row = logits.data() + r * logits.cols();
+        int argmax = 0;
+        for (int c = 1; c < num_classes_; ++c) {
+            if (row[c] > row[argmax])
+                argmax = c;
+        }
+        add(labels[static_cast<size_t>(r)], argmax);
+    }
+}
+
+int64_t
+ConfusionMatrix::at(int truth, int predicted) const
+{
+    return counts_[static_cast<size_t>(truth) * num_classes_ +
+                   predicted];
+}
+
+double
+ConfusionMatrix::accuracy() const
+{
+    if (total_ == 0)
+        return 0.0;
+    int64_t trace = 0;
+    for (int c = 0; c < num_classes_; ++c)
+        trace += at(c, c);
+    return double(trace) / double(total_);
+}
+
+double
+ConfusionMatrix::precision(int cls) const
+{
+    int64_t predicted = 0;
+    for (int truth = 0; truth < num_classes_; ++truth)
+        predicted += at(truth, cls);
+    return predicted ? double(at(cls, cls)) / double(predicted) : 0.0;
+}
+
+double
+ConfusionMatrix::recall(int cls) const
+{
+    int64_t actual = 0;
+    for (int predicted = 0; predicted < num_classes_; ++predicted)
+        actual += at(cls, predicted);
+    return actual ? double(at(cls, cls)) / double(actual) : 0.0;
+}
+
+double
+ConfusionMatrix::f1(int cls) const
+{
+    const double p = precision(cls);
+    const double r = recall(cls);
+    return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+double
+ConfusionMatrix::macro_f1() const
+{
+    double sum = 0.0;
+    for (int c = 0; c < num_classes_; ++c)
+        sum += f1(c);
+    return sum / double(num_classes_);
+}
+
+void
+ConfusionMatrix::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+}
+
+} // namespace compute
+} // namespace fastgl

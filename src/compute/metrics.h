@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Classification metrics beyond plain accuracy: confusion matrix and
+ * micro/macro F1, as the OGB leaderboards report for the node-property
+ * tasks the paper's datasets come from.
+ */
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compute/tensor.h"
+
+namespace fastgl {
+namespace compute {
+
+/** Accumulates a confusion matrix over prediction batches. */
+class ConfusionMatrix
+{
+  public:
+    explicit ConfusionMatrix(int num_classes);
+
+    /** Add one (true label, predicted label) observation. */
+    void add(int truth, int predicted);
+
+    /** Add a whole logits batch: prediction = row-wise argmax. */
+    void add_batch(const Tensor &logits, std::span<const int> labels);
+
+    int num_classes() const { return num_classes_; }
+    int64_t total() const { return total_; }
+
+    /** Count at (truth, predicted). */
+    int64_t at(int truth, int predicted) const;
+
+    /** Overall accuracy (trace / total). */
+    double accuracy() const;
+
+    /** Per-class precision/recall/F1. */
+    double precision(int cls) const;
+    double recall(int cls) const;
+    double f1(int cls) const;
+
+    /** Micro-F1 (== accuracy for single-label classification). */
+    double micro_f1() const { return accuracy(); }
+
+    /** Macro-F1: unweighted mean of per-class F1. */
+    double macro_f1() const;
+
+    void reset();
+
+  private:
+    int num_classes_;
+    int64_t total_ = 0;
+    std::vector<int64_t> counts_; ///< [truth * classes + predicted].
+};
+
+} // namespace compute
+} // namespace fastgl

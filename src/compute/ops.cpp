@@ -1,0 +1,161 @@
+#include "compute/ops.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fastgl {
+namespace compute {
+
+void
+gemm(const Tensor &a, const Tensor &b, Tensor &c)
+{
+    FASTGL_CHECK(a.cols() == b.rows(), "gemm inner dim mismatch");
+    FASTGL_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
+                 "gemm output shape mismatch");
+    const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+    c.fill_zero();
+    for (int64_t i = 0; i < m; ++i) {
+        float *ci = c.data() + i * n;
+        const float *ai = a.data() + i * k;
+        for (int64_t p = 0; p < k; ++p) {
+            const float av = ai[p];
+            if (av == 0.0f)
+                continue;
+            const float *bp = b.data() + p * n;
+            for (int64_t j = 0; j < n; ++j)
+                ci[j] += av * bp[j];
+        }
+    }
+}
+
+void
+gemm_ta(const Tensor &a, const Tensor &b, Tensor &c)
+{
+    FASTGL_CHECK(a.rows() == b.rows(), "gemm_ta inner dim mismatch");
+    FASTGL_CHECK(c.rows() == a.cols() && c.cols() == b.cols(),
+                 "gemm_ta output shape mismatch");
+    const int64_t k = a.rows(), m = a.cols(), n = b.cols();
+    c.fill_zero();
+    for (int64_t p = 0; p < k; ++p) {
+        const float *ap = a.data() + p * m;
+        const float *bp = b.data() + p * n;
+        for (int64_t i = 0; i < m; ++i) {
+            const float av = ap[i];
+            if (av == 0.0f)
+                continue;
+            float *ci = c.data() + i * n;
+            for (int64_t j = 0; j < n; ++j)
+                ci[j] += av * bp[j];
+        }
+    }
+}
+
+void
+gemm_tb(const Tensor &a, const Tensor &b, Tensor &c)
+{
+    FASTGL_CHECK(a.cols() == b.cols(), "gemm_tb inner dim mismatch");
+    FASTGL_CHECK(c.rows() == a.rows() && c.cols() == b.rows(),
+                 "gemm_tb output shape mismatch");
+    const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+    for (int64_t i = 0; i < m; ++i) {
+        const float *ai = a.data() + i * k;
+        float *ci = c.data() + i * n;
+        for (int64_t j = 0; j < n; ++j) {
+            const float *bj = b.data() + j * k;
+            float acc = 0.0f;
+            for (int64_t p = 0; p < k; ++p)
+                acc += ai[p] * bj[p];
+            ci[j] = acc;
+        }
+    }
+}
+
+void
+add_bias(Tensor &x, const Tensor &bias)
+{
+    FASTGL_CHECK(bias.rows() == 1 && bias.cols() == x.cols(),
+                 "bias shape mismatch");
+    for (int64_t r = 0; r < x.rows(); ++r) {
+        float *row = x.data() + r * x.cols();
+        for (int64_t c = 0; c < x.cols(); ++c)
+            row[c] += bias.at(0, c);
+    }
+}
+
+void
+bias_backward(const Tensor &grad, Tensor &grad_bias)
+{
+    FASTGL_CHECK(grad_bias.rows() == 1 && grad_bias.cols() == grad.cols(),
+                 "bias grad shape mismatch");
+    for (int64_t r = 0; r < grad.rows(); ++r) {
+        const float *row = grad.data() + r * grad.cols();
+        for (int64_t c = 0; c < grad.cols(); ++c)
+            grad_bias.at(0, c) += row[c];
+    }
+}
+
+void
+relu_forward(Tensor &x)
+{
+    float *data = x.data();
+    for (int64_t i = 0; i < x.numel(); ++i)
+        data[i] = data[i] > 0.0f ? data[i] : 0.0f;
+}
+
+void
+relu_backward(const Tensor &activated, Tensor &grad)
+{
+    FASTGL_CHECK(activated.same_shape(grad), "relu backward shape");
+    const float *act = activated.data();
+    float *g = grad.data();
+    for (int64_t i = 0; i < grad.numel(); ++i) {
+        if (act[i] <= 0.0f)
+            g[i] = 0.0f;
+    }
+}
+
+void
+leaky_relu_forward(Tensor &x, float alpha)
+{
+    float *data = x.data();
+    for (int64_t i = 0; i < x.numel(); ++i)
+        data[i] = data[i] > 0.0f ? data[i] : alpha * data[i];
+}
+
+void
+leaky_relu_backward(const Tensor &pre, float alpha, Tensor &grad)
+{
+    FASTGL_CHECK(pre.same_shape(grad), "leaky relu backward shape");
+    const float *p = pre.data();
+    float *g = grad.data();
+    for (int64_t i = 0; i < grad.numel(); ++i) {
+        if (p[i] <= 0.0f)
+            g[i] *= alpha;
+    }
+}
+
+void
+elu_forward(Tensor &x)
+{
+    float *data = x.data();
+    for (int64_t i = 0; i < x.numel(); ++i) {
+        if (data[i] < 0.0f)
+            data[i] = std::expm1(data[i]);
+    }
+}
+
+void
+elu_backward(const Tensor &activated, Tensor &grad)
+{
+    FASTGL_CHECK(activated.same_shape(grad), "elu backward shape");
+    const float *act = activated.data();
+    float *g = grad.data();
+    for (int64_t i = 0; i < grad.numel(); ++i) {
+        if (act[i] < 0.0f)
+            g[i] *= (act[i] + 1.0f); // d/dx e^x - 1 = e^x = y + 1
+    }
+}
+
+} // namespace compute
+} // namespace fastgl

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Dense kernels: GEMM variants, bias, activations. All shapes are checked;
+ * transposition is expressed by separate entry points rather than flags so
+ * each inner loop stays cache friendly.
+ */
+#pragma once
+
+#include "compute/tensor.h"
+
+namespace fastgl {
+namespace compute {
+
+/** C = A[m,k] * B[k,n] (C overwritten). */
+void gemm(const Tensor &a, const Tensor &b, Tensor &c);
+
+/** C = A^T[k,m] * B[k,n]  (i.e. a is stored [k,m]; C is [m,n]). */
+void gemm_ta(const Tensor &a, const Tensor &b, Tensor &c);
+
+/** C = A[m,k] * B^T[n,k]  (b stored [n,k]; C is [m,n]). */
+void gemm_tb(const Tensor &a, const Tensor &b, Tensor &c);
+
+/** x[r,:] += bias[0,:] for every row. */
+void add_bias(Tensor &x, const Tensor &bias);
+
+/** grad_bias[0,:] += column sums of grad. */
+void bias_backward(const Tensor &grad, Tensor &grad_bias);
+
+/** In-place ReLU; returns mask-applied output in @p x. */
+void relu_forward(Tensor &x);
+
+/** grad *= (activated > 0), where @p activated is relu_forward's output. */
+void relu_backward(const Tensor &activated, Tensor &grad);
+
+/** In-place LeakyReLU with slope @p alpha. */
+void leaky_relu_forward(Tensor &x, float alpha);
+
+/** Backward of LeakyReLU given pre-activation values. */
+void leaky_relu_backward(const Tensor &pre, float alpha, Tensor &grad);
+
+/** In-place ELU (alpha = 1). */
+void elu_forward(Tensor &x);
+
+/** Backward of ELU given the *outputs* of elu_forward. */
+void elu_backward(const Tensor &activated, Tensor &grad);
+
+} // namespace compute
+} // namespace fastgl

@@ -1,0 +1,72 @@
+#include "compute/optimizer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fastgl {
+namespace compute {
+
+void
+Sgd::step(const std::vector<Parameter *> &params)
+{
+    if (velocity_.empty() && momentum_ != 0.0f) {
+        for (Parameter *p : params)
+            velocity_.emplace_back(p->value.rows(), p->value.cols());
+    }
+    for (size_t i = 0; i < params.size(); ++i) {
+        Parameter *p = params[i];
+        float *value = p->value.data();
+        const float *grad = p->grad.data();
+        if (momentum_ != 0.0f) {
+            FASTGL_CHECK(i < velocity_.size(),
+                         "parameter list changed between steps");
+            float *vel = velocity_[i].data();
+            for (int64_t j = 0; j < p->numel(); ++j) {
+                const float g =
+                    grad[j] + weight_decay_ * value[j];
+                vel[j] = momentum_ * vel[j] + g;
+                value[j] -= lr_ * vel[j];
+            }
+        } else {
+            for (int64_t j = 0; j < p->numel(); ++j) {
+                const float g =
+                    grad[j] + weight_decay_ * value[j];
+                value[j] -= lr_ * g;
+            }
+        }
+    }
+}
+
+void
+Adam::step(const std::vector<Parameter *> &params)
+{
+    if (m_.empty()) {
+        for (Parameter *p : params) {
+            m_.emplace_back(p->value.rows(), p->value.cols());
+            v_.emplace_back(p->value.rows(), p->value.cols());
+        }
+    }
+    FASTGL_CHECK(m_.size() == params.size(),
+                 "parameter list changed between steps");
+    ++t_;
+    const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+    const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+    for (size_t i = 0; i < params.size(); ++i) {
+        Parameter *p = params[i];
+        float *value = p->value.data();
+        const float *grad = p->grad.data();
+        float *m = m_[i].data();
+        float *v = v_[i].data();
+        for (int64_t j = 0; j < p->numel(); ++j) {
+            m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad[j];
+            v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad[j] * grad[j];
+            const float mhat = m[j] / bc1;
+            const float vhat = v[j] / bc2;
+            value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+        }
+    }
+}
+
+} // namespace compute
+} // namespace fastgl

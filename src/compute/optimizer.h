@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Optimizers applied to the model's Parameter list after each backward.
+ */
+#pragma once
+
+#include <vector>
+
+#include "compute/tensor.h"
+
+namespace fastgl {
+namespace compute {
+
+/** Base optimizer interface. */
+class Optimizer
+{
+  public:
+    virtual ~Optimizer() = default;
+
+    /** Apply one update step using each parameter's accumulated grad. */
+    virtual void step(const std::vector<Parameter *> &params) = 0;
+};
+
+/** SGD with optional momentum and weight decay. */
+class Sgd : public Optimizer
+{
+  public:
+    explicit Sgd(float lr, float momentum = 0.0f,
+                 float weight_decay = 0.0f)
+        : lr_(lr), momentum_(momentum), weight_decay_(weight_decay)
+    {}
+
+    void step(const std::vector<Parameter *> &params) override;
+
+  private:
+    float lr_;
+    float momentum_;
+    float weight_decay_;
+    std::vector<Tensor> velocity_;
+};
+
+/** Adam (Kingma & Ba) with bias correction. */
+class Adam : public Optimizer
+{
+  public:
+    explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                  float eps = 1e-8f)
+        : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps)
+    {}
+
+    void step(const std::vector<Parameter *> &params) override;
+
+  private:
+    float lr_, beta1_, beta2_, eps_;
+    int64_t t_ = 0;
+    std::vector<Tensor> m_;
+    std::vector<Tensor> v_;
+};
+
+} // namespace compute
+} // namespace fastgl

@@ -1,0 +1,60 @@
+#include "compute/tensor.h"
+
+#include "util/logging.h"
+
+namespace fastgl {
+namespace compute {
+
+Tensor::Tensor(int64_t rows, int64_t cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows * cols), 0.0f)
+{
+    FASTGL_CHECK(rows >= 0 && cols >= 0, "negative tensor shape");
+}
+
+Tensor
+Tensor::zeros(int64_t rows, int64_t cols)
+{
+    return Tensor(rows, cols);
+}
+
+Tensor
+Tensor::randn(int64_t rows, int64_t cols, util::Rng &rng, float scale)
+{
+    Tensor t(rows, cols);
+    for (auto &x : t.data_)
+        x = rng.next_gaussian(0.0f, scale);
+    return t;
+}
+
+void
+Tensor::fill_zero()
+{
+    std::fill(data_.begin(), data_.end(), 0.0f);
+}
+
+void
+Tensor::fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+double
+Tensor::sum_squares() const
+{
+    double acc = 0.0;
+    for (float x : data_)
+        acc += double(x) * double(x);
+    return acc;
+}
+
+void
+Tensor::add_scaled(const Tensor &other, float alpha)
+{
+    FASTGL_CHECK(same_shape(other), "shape mismatch in add_scaled");
+    for (size_t i = 0; i < data_.size(); ++i)
+        data_[i] += alpha * other.data_[i];
+}
+
+} // namespace compute
+} // namespace fastgl

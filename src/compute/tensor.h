@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Minimal dense row-major float matrix used by the GNN numerics.
+ *
+ * FastGL's contribution is systems-level; the numerics only need to be
+ * correct (for the convergence experiment, Fig. 16) and shaped like the
+ * real workload (for the timing model), so a small purpose-built tensor
+ * beats pulling in a BLAS dependency.
+ */
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fastgl {
+namespace compute {
+
+/** Dense [rows x cols] float matrix, row major. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Zero-initialised matrix. */
+    Tensor(int64_t rows, int64_t cols);
+
+    /** All-zeros factory (alias of the constructor, reads better). */
+    static Tensor zeros(int64_t rows, int64_t cols);
+
+    /** Gaussian init with std @p scale (Glorot-style when scaled). */
+    static Tensor randn(int64_t rows, int64_t cols, util::Rng &rng,
+                        float scale);
+
+    int64_t rows() const { return rows_; }
+    int64_t cols() const { return cols_; }
+    int64_t numel() const { return rows_ * cols_; }
+
+    float &
+    at(int64_t r, int64_t c)
+    {
+        return data_[static_cast<size_t>(r * cols_ + c)];
+    }
+    float
+    at(int64_t r, int64_t c) const
+    {
+        return data_[static_cast<size_t>(r * cols_ + c)];
+    }
+
+    /** Mutable view of row @p r. */
+    std::span<float>
+    row(int64_t r)
+    {
+        return {data_.data() + r * cols_, static_cast<size_t>(cols_)};
+    }
+    std::span<const float>
+    row(int64_t r) const
+    {
+        return {data_.data() + r * cols_, static_cast<size_t>(cols_)};
+    }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Set every element to zero. */
+    void fill_zero();
+
+    /** Set every element to @p value. */
+    void fill(float value);
+
+    /** Frobenius-norm squared. */
+    double sum_squares() const;
+
+    /** this += alpha * other (shapes must match). */
+    void add_scaled(const Tensor &other, float alpha);
+
+    /** True when shapes match. */
+    bool
+    same_shape(const Tensor &other) const
+    {
+        return rows_ == other.rows_ && cols_ == other.cols_;
+    }
+
+  private:
+    int64_t rows_ = 0;
+    int64_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+/** A trainable tensor with its gradient buffer. */
+struct Parameter
+{
+    Tensor value;
+    Tensor grad;
+
+    Parameter() = default;
+    explicit Parameter(Tensor init)
+        : value(std::move(init)), grad(value.rows(), value.cols())
+    {}
+
+    void zero_grad() { grad.fill_zero(); }
+    int64_t numel() const { return value.numel(); }
+};
+
+} // namespace compute
+} // namespace fastgl

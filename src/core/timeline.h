@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Event-driven epoch timeline: builds a sim::TaskSchedule from per-batch
+ * stage durations under a framework's overlap structure (serial DGL/PyG,
+ * double-buffered transfer, GNNLab's dedicated sampler GPU, FastGL's
+ * topology prefetch), executes it, and optionally exports a
+ * chrome://tracing timeline.
+ *
+ * The closed-form wall-clock in core::Pipeline and this event-driven
+ * makespan must agree — the validation tests and bench_ext_timeline
+ * check exactly that.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/task_schedule.h"
+
+namespace fastgl {
+namespace core {
+
+/** Stage durations of one batch on one trainer. */
+struct BatchStageTimes
+{
+    double sample = 0.0;  ///< Traversal + ID map.
+    double io = 0.0;      ///< Feature gather + transfer.
+    double compute = 0.0; ///< Forward + backward.
+};
+
+/** Overlap structure of one framework preset. */
+struct TimelineConfig
+{
+    /**
+     * Transfers double-buffer against compute (the copy of batch b+1
+     * overlaps the computation of batch b). GNNLab's factored design.
+     */
+    bool overlap_copy_compute = false;
+    /**
+     * Sampling runs on a dedicated resource (GNNLab's sampler GPU) and
+     * overlaps everything downstream.
+     */
+    bool dedicated_sampler = false;
+    /** Per-iteration gradient synchronization appended after compute. */
+    double allreduce = 0.0;
+};
+
+/** Outcome of an event-driven epoch execution. */
+struct TimelineResult
+{
+    double makespan = 0.0;
+    sim::TaskSchedule schedule; ///< run() already executed.
+};
+
+/**
+ * Build and execute the epoch schedule for one trainer GPU's batch list.
+ * (Data-parallel trainers are symmetric; simulate one and take the max.)
+ */
+TimelineResult simulate_epoch(const std::vector<BatchStageTimes> &batches,
+                              const TimelineConfig &config);
+
+/**
+ * Convenience: simulate and export a chrome trace to @p trace_path.
+ * @return makespan; 0 batches yield makespan 0.
+ */
+double simulate_epoch_to_trace(
+    const std::vector<BatchStageTimes> &batches,
+    const TimelineConfig &config, const std::string &trace_path);
+
+} // namespace core
+} // namespace fastgl

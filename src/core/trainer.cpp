@@ -1,0 +1,154 @@
+#include "core/trainer.h"
+
+#include "util/logging.h"
+
+namespace fastgl {
+namespace core {
+
+Trainer::Trainer(const graph::Dataset &dataset, TrainerOptions opts)
+    : dataset_(dataset),
+      opts_(std::move(opts)),
+      splitter_(dataset.train_nodes,
+                opts_.batch_size > 0 ? opts_.batch_size
+                                     : dataset.batch_size,
+                opts_.seed)
+{
+    if (opts_.model.in_dim == 0)
+        opts_.model.in_dim = dataset.features.dim();
+    if (opts_.model.num_classes == 0)
+        opts_.model.num_classes = dataset.features.num_classes();
+    opts_.model.num_layers = static_cast<int>(opts_.fanouts.size());
+    opts_.model.seed = opts_.seed;
+
+    model_ = std::make_unique<compute::GnnModel>(opts_.model);
+    if (opts_.use_adam) {
+        optimizer_ = std::make_unique<compute::Adam>(opts_.learning_rate);
+    } else {
+        optimizer_ =
+            std::make_unique<compute::Sgd>(opts_.learning_rate, 0.9f);
+    }
+
+    sample::NeighborSamplerOptions nopts;
+    nopts.fanouts = opts_.fanouts;
+    nopts.seed = opts_.seed + 1;
+    sampler_ = std::make_unique<sample::NeighborSampler>(dataset.graph,
+                                                         nopts);
+}
+
+compute::Tensor
+Trainer::gather_features(const sample::SampledSubgraph &sg)
+{
+    compute::Tensor x(sg.num_nodes(), dataset_.features.dim());
+    for (int64_t i = 0; i < sg.num_nodes(); ++i)
+        dataset_.features.gather_row(sg.nodes[static_cast<size_t>(i)],
+                                     x.row(i).data());
+    return x;
+}
+
+std::vector<int>
+Trainer::seed_labels(const sample::SampledSubgraph &sg)
+{
+    std::vector<int> labels(static_cast<size_t>(sg.num_seeds));
+    for (int64_t i = 0; i < sg.num_seeds; ++i)
+        labels[static_cast<size_t>(i)] =
+            dataset_.features.label(sg.nodes[static_cast<size_t>(i)]);
+    return labels;
+}
+
+TrainEpochStats
+Trainer::train_epoch()
+{
+    splitter_.shuffle_epoch();
+    int64_t num_batches = splitter_.num_batches();
+    if (opts_.max_batches > 0)
+        num_batches = std::min(num_batches, opts_.max_batches);
+
+    TrainEpochStats stats;
+    double loss_sum = 0.0, acc_sum = 0.0;
+    for (int64_t b = 0; b < num_batches; ++b) {
+        sample::SampledSubgraph sg =
+            sampler_->sample(splitter_.batch(b));
+        compute::Tensor x = gather_features(sg);
+        if (opts_.input_dropout > 0.0f)
+            apply_input_dropout(x);
+        compute::Tensor logits = model_->forward(sg, x);
+
+        const std::vector<int> labels = seed_labels(sg);
+        compute::LossResult loss =
+            compute::softmax_cross_entropy(logits, labels);
+
+        model_->zero_grad();
+        model_->backward(sg, loss.grad_logits);
+        optimizer_->step(model_->parameters());
+
+        stats.iteration_losses.push_back(loss.loss);
+        loss_sum += loss.loss;
+        acc_sum += loss.accuracy;
+    }
+    stats.mean_loss = loss_sum / double(num_batches);
+    stats.mean_accuracy = acc_sum / double(num_batches);
+    return stats;
+}
+
+void
+Trainer::apply_input_dropout(compute::Tensor &features)
+{
+    // Inverted dropout: surviving entries are scaled by 1/(1-p) so the
+    // expected activation is unchanged; gradients flow through the
+    // surviving entries only because the zeroed inputs contribute zero.
+    const float p = opts_.input_dropout;
+    const float scale = 1.0f / (1.0f - p);
+    float *data = features.data();
+    for (int64_t i = 0; i < features.numel(); ++i)
+        data[i] = dropout_rng_.next_double() < p ? 0.0f
+                                                 : data[i] * scale;
+}
+
+double
+Trainer::evaluate_nodes(std::span<const graph::NodeId> nodes,
+                        int64_t max_batches)
+{
+    FASTGL_CHECK(!nodes.empty(), "empty evaluation node list");
+    const int64_t batch =
+        opts_.batch_size > 0 ? opts_.batch_size : dataset_.batch_size;
+    int64_t num_batches =
+        (int64_t(nodes.size()) + batch - 1) / batch;
+    if (max_batches > 0)
+        num_batches = std::min(num_batches, max_batches);
+    double acc_sum = 0.0;
+    for (int64_t b = 0; b < num_batches; ++b) {
+        const size_t begin = size_t(b * batch);
+        const size_t end =
+            std::min(nodes.size(), begin + size_t(batch));
+        sample::SampledSubgraph sg =
+            sampler_->sample(nodes.subspan(begin, end - begin));
+        compute::Tensor x = gather_features(sg);
+        compute::Tensor logits = model_->forward(sg, x);
+        const std::vector<int> labels = seed_labels(sg);
+        acc_sum +=
+            compute::softmax_cross_entropy(logits, labels).accuracy;
+    }
+    return acc_sum / double(num_batches);
+}
+
+double
+Trainer::evaluate(int64_t max_batches)
+{
+    int64_t num_batches = splitter_.num_batches();
+    if (max_batches > 0)
+        num_batches = std::min(num_batches, max_batches);
+    double acc_sum = 0.0;
+    for (int64_t b = 0; b < num_batches; ++b) {
+        sample::SampledSubgraph sg =
+            sampler_->sample(splitter_.batch(b));
+        compute::Tensor x = gather_features(sg);
+        compute::Tensor logits = model_->forward(sg, x);
+        const std::vector<int> labels = seed_labels(sg);
+        acc_sum +=
+            compute::softmax_cross_entropy(logits, labels).accuracy;
+    }
+    return acc_sum / double(num_batches);
+}
+
+} // namespace core
+} // namespace fastgl

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * End-to-end numeric trainer: real sampling, real feature gathering, real
+ * forward/backward/optimizer steps. This is the execution path behind the
+ * convergence experiment (paper Fig. 16) and the runnable examples —
+ * unlike Pipeline, which models time, Trainer computes actual numbers.
+ */
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "compute/gnn_model.h"
+#include "compute/loss.h"
+#include "compute/optimizer.h"
+#include "core/phase_stats.h"
+#include "graph/datasets.h"
+#include "sample/batch_splitter.h"
+#include "sample/neighbor_sampler.h"
+#include "util/rng.h"
+
+namespace fastgl {
+namespace core {
+
+/** Trainer hyperparameters. */
+struct TrainerOptions
+{
+    std::vector<int> fanouts = {5, 10, 15};
+    compute::ModelConfig model; ///< in_dim/num_classes 0 = from dataset.
+    int64_t batch_size = 0;     ///< 0 = dataset default.
+    float learning_rate = 3e-3f;
+    bool use_adam = true;
+    /** Inverted dropout applied to the gathered input features during
+     *  training (0 = off); evaluation never drops. */
+    float input_dropout = 0.0f;
+    int64_t max_batches = 0;    ///< Cap batches per epoch (0 = all).
+    uint64_t seed = 3407;
+};
+
+/** Loss/accuracy curve of one epoch. */
+struct TrainEpochStats
+{
+    std::vector<double> iteration_losses;
+    double mean_loss = 0.0;
+    double mean_accuracy = 0.0;
+};
+
+/** Owns the model, optimizer and sampler; runs real training epochs. */
+class Trainer
+{
+  public:
+    Trainer(const graph::Dataset &dataset, TrainerOptions opts);
+
+    /** Run one real training epoch; returns its loss curve. */
+    TrainEpochStats train_epoch();
+
+    /**
+     * Evaluate accuracy on up to @p max_batches batches of training nodes
+     * (no parameter update).
+     */
+    double evaluate(int64_t max_batches = 4);
+
+    /**
+     * Evaluate accuracy on an arbitrary node list (e.g. the dataset's
+     * val_nodes or test_nodes). No parameter update, no dropout.
+     */
+    double evaluate_nodes(std::span<const graph::NodeId> nodes,
+                          int64_t max_batches = 4);
+
+    compute::GnnModel &model() { return *model_; }
+    const TrainerOptions &options() const { return opts_; }
+
+  private:
+    /** Gather one feature row per subgraph node into a dense tensor. */
+    compute::Tensor gather_features(const sample::SampledSubgraph &sg);
+
+    /** Inverted dropout on the gathered input features (train only). */
+    void apply_input_dropout(compute::Tensor &features);
+
+    /** Labels of the seed nodes. */
+    std::vector<int> seed_labels(const sample::SampledSubgraph &sg);
+
+    const graph::Dataset &dataset_;
+    TrainerOptions opts_;
+    std::unique_ptr<compute::GnnModel> model_;
+    std::unique_ptr<compute::Optimizer> optimizer_;
+    sample::BatchSplitter splitter_;
+    std::unique_ptr<sample::NeighborSampler> sampler_;
+    util::Rng dropout_rng_{0xD80F0D80F0ULL};
+};
+
+} // namespace core
+} // namespace fastgl

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Umbrella header: the FastGL public API.
+ *
+ * FastGL is a GPU-efficient framework for sampling-based GNN training at
+ * large scale (ASPLOS'24). This reproduction implements the full system on
+ * a deterministic device model:
+ *
+ *  - fastgl::graph   — CSR graphs, generators, dataset replicas
+ *  - fastgl::sim     — RTX-3090 device model (caches, PCIe, kernels)
+ *  - fastgl::sample  — k-hop / random-walk samplers, Fused-Map ID mapping
+ *  - fastgl::match   — Match-Reorder transfer planning, feature caches
+ *  - fastgl::compute — GCN/GIN/GAT numerics + Memory-Aware cost model
+ *  - fastgl::core    — framework presets, epoch pipeline, trainer
+ */
+#pragma once
+
+#include "compute/a3.h"
+#include "compute/aggregate.h"
+#include "compute/cache_replay.h"
+#include "compute/compute_cost.h"
+#include "compute/gnn_model.h"
+#include "compute/loss.h"
+#include "compute/metrics.h"
+#include "compute/optimizer.h"
+#include "core/framework_config.h"
+#include "core/memory_estimator.h"
+#include "core/pipeline.h"
+#include "core/timeline.h"
+#include "core/trainer.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "match/feature_cache.h"
+#include "match/match.h"
+#include "match/reorder.h"
+#include "sample/batch_splitter.h"
+#include "sample/neighbor_sampler.h"
+#include "sample/random_walk_sampler.h"
+#include "sim/gpu_spec.h"
+#include "sim/roofline.h"
+#include "util/logging.h"
+#include "util/stats.h"
+#include "util/table.h"

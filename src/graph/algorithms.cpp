@@ -1,0 +1,135 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace fastgl {
+namespace graph {
+
+std::vector<int32_t>
+bfs_distances(const CsrGraph &graph, NodeId source)
+{
+    FASTGL_CHECK(source >= 0 && source < graph.num_nodes(),
+                 "BFS source out of range");
+    std::vector<int32_t> dist(static_cast<size_t>(graph.num_nodes()),
+                              -1);
+    std::queue<NodeId> frontier;
+    dist[static_cast<size_t>(source)] = 0;
+    frontier.push(source);
+    while (!frontier.empty()) {
+        const NodeId u = frontier.front();
+        frontier.pop();
+        for (NodeId v : graph.neighbors(u)) {
+            if (dist[static_cast<size_t>(v)] == -1) {
+                dist[static_cast<size_t>(v)] =
+                    dist[static_cast<size_t>(u)] + 1;
+                frontier.push(v);
+            }
+        }
+    }
+    return dist;
+}
+
+int64_t
+Components::largest_size() const
+{
+    std::vector<int64_t> sizes(static_cast<size_t>(count), 0);
+    for (int32_t c : component_of)
+        ++sizes[static_cast<size_t>(c)];
+    return sizes.empty() ? 0
+                         : *std::max_element(sizes.begin(), sizes.end());
+}
+
+Components
+connected_components(const CsrGraph &graph)
+{
+    // Union-find over both edge directions (the CSR stores in-edges;
+    // for weak connectivity we also union through the transpose,
+    // achieved by unioning u with each neighbour — which covers both
+    // directions because union is symmetric).
+    const NodeId n = graph.num_nodes();
+    std::vector<int32_t> parent(static_cast<size_t>(n));
+    for (NodeId u = 0; u < n; ++u)
+        parent[static_cast<size_t>(u)] = int32_t(u);
+
+    std::vector<int32_t> *p = &parent;
+    std::function<int32_t(int32_t)> find = [&](int32_t x) {
+        while ((*p)[static_cast<size_t>(x)] != x) {
+            (*p)[static_cast<size_t>(x)] =
+                (*p)[static_cast<size_t>((*p)[static_cast<size_t>(x)])];
+            x = (*p)[static_cast<size_t>(x)];
+        }
+        return x;
+    };
+
+    for (NodeId u = 0; u < n; ++u) {
+        for (NodeId v : graph.neighbors(u)) {
+            const int32_t ru = find(int32_t(u));
+            const int32_t rv = find(int32_t(v));
+            if (ru != rv)
+                parent[static_cast<size_t>(std::max(ru, rv))] =
+                    std::min(ru, rv);
+        }
+    }
+
+    Components result;
+    result.component_of.assign(static_cast<size_t>(n), -1);
+    std::vector<int32_t> label(static_cast<size_t>(n), -1);
+    for (NodeId u = 0; u < n; ++u) {
+        const int32_t root = find(int32_t(u));
+        if (label[static_cast<size_t>(root)] == -1)
+            label[static_cast<size_t>(root)] = result.count++;
+        result.component_of[static_cast<size_t>(u)] =
+            label[static_cast<size_t>(root)];
+    }
+    return result;
+}
+
+CsrGraph
+reverse_graph(const CsrGraph &graph)
+{
+    const NodeId n = graph.num_nodes();
+    std::vector<EdgeId> indptr(static_cast<size_t>(n) + 1, 0);
+    for (NodeId v : graph.indices())
+        ++indptr[static_cast<size_t>(v) + 1];
+    for (NodeId u = 0; u < n; ++u)
+        indptr[static_cast<size_t>(u) + 1] +=
+            indptr[static_cast<size_t>(u)];
+
+    std::vector<NodeId> indices(
+        static_cast<size_t>(graph.num_edges()));
+    std::vector<EdgeId> cursor(indptr.begin(), indptr.end() - 1);
+    for (NodeId u = 0; u < n; ++u) {
+        for (NodeId v : graph.neighbors(u)) {
+            indices[static_cast<size_t>(
+                cursor[static_cast<size_t>(v)]++)] = u;
+        }
+    }
+    for (NodeId u = 0; u < n; ++u) {
+        std::sort(indices.begin() + indptr[static_cast<size_t>(u)],
+                  indices.begin() + indptr[static_cast<size_t>(u) + 1]);
+    }
+    return CsrGraph(std::move(indptr), std::move(indices));
+}
+
+std::vector<int64_t>
+degree_histogram(const CsrGraph &graph, int max_degree_bucket)
+{
+    FASTGL_CHECK(max_degree_bucket > 0, "need at least one bucket");
+    std::vector<int64_t> histogram(
+        static_cast<size_t>(max_degree_bucket) + 1, 0);
+    for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+        const EdgeId deg = graph.degree(u);
+        const size_t bucket = std::min<size_t>(
+            static_cast<size_t>(deg),
+            static_cast<size_t>(max_degree_bucket));
+        ++histogram[bucket];
+    }
+    return histogram;
+}
+
+} // namespace graph
+} // namespace fastgl

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Basic graph algorithms used by the samplers' tests, the partitioners,
+ * and downstream users: BFS distances, connected components, reverse
+ * (transpose) graph, and k-core-ish degree statistics.
+ */
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace fastgl {
+namespace graph {
+
+/**
+ * BFS distances from @p source over the stored (in-edge) adjacency.
+ * Unreachable nodes get -1.
+ */
+std::vector<int32_t> bfs_distances(const CsrGraph &graph, NodeId source);
+
+/** Result of a connected-components run. */
+struct Components
+{
+    /** component_of[u] = component index in [0, count). */
+    std::vector<int32_t> component_of;
+    int32_t count = 0;
+
+    /** Size of the largest component. */
+    int64_t largest_size() const;
+};
+
+/**
+ * Connected components treating edges as undirected (our generators
+ * mirror every edge, so this equals weak connectivity).
+ */
+Components connected_components(const CsrGraph &graph);
+
+/**
+ * Transpose: a graph whose neighbour list of u holds every v with
+ * u ∈ neighbors(v). For the symmetric generator output this is the
+ * identity; for directed CSRs it flips edge direction.
+ */
+CsrGraph reverse_graph(const CsrGraph &graph);
+
+/** Histogram of node degrees; bucket i counts nodes with degree i
+ *  (the final bucket aggregates everything >= max_degree_bucket). */
+std::vector<int64_t> degree_histogram(const CsrGraph &graph,
+                                      int max_degree_bucket = 64);
+
+} // namespace graph
+} // namespace fastgl

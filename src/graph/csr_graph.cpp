@@ -1,0 +1,66 @@
+#include "graph/csr_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fastgl {
+namespace graph {
+
+CsrGraph::CsrGraph(std::vector<EdgeId> indptr, std::vector<NodeId> indices)
+    : indptr_(std::move(indptr)), indices_(std::move(indices))
+{
+    FASTGL_CHECK(!indptr_.empty(), "indptr must have at least one entry");
+    FASTGL_CHECK(indptr_.front() == 0, "indptr must start at 0");
+    FASTGL_CHECK(indptr_.back() == static_cast<EdgeId>(indices_.size()),
+                 "indptr end must equal indices size");
+}
+
+double
+CsrGraph::avg_degree() const
+{
+    if (num_nodes() == 0)
+        return 0.0;
+    return static_cast<double>(num_edges()) /
+           static_cast<double>(num_nodes());
+}
+
+EdgeId
+CsrGraph::max_degree() const
+{
+    EdgeId best = 0;
+    for (NodeId u = 0; u < num_nodes(); ++u)
+        best = std::max(best, degree(u));
+    return best;
+}
+
+uint64_t
+CsrGraph::topology_bytes() const
+{
+    return indptr_.size() * sizeof(EdgeId) +
+           indices_.size() * sizeof(NodeId);
+}
+
+std::string
+CsrGraph::validate() const
+{
+    if (indptr_.empty())
+        return "indptr is empty";
+    if (indptr_.front() != 0)
+        return "indptr does not start at 0";
+    for (size_t i = 1; i < indptr_.size(); ++i) {
+        if (indptr_[i] < indptr_[i - 1])
+            return "indptr is not monotone at row " + std::to_string(i);
+    }
+    if (indptr_.back() != static_cast<EdgeId>(indices_.size()))
+        return "indptr.back() != indices.size()";
+    const NodeId n = num_nodes();
+    for (NodeId v : indices_) {
+        if (v < 0 || v >= n)
+            return "edge endpoint " + std::to_string(v) + " out of range";
+    }
+    return "";
+}
+
+} // namespace graph
+} // namespace fastgl

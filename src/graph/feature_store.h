@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Host-resident node feature and label storage.
+ *
+ * In the sampling-based training setting the feature matrix lives in CPU
+ * host memory (it is far too large for the GPU); per-batch feature rows are
+ * gathered and shipped over PCIe. FeatureStore is that host-side matrix.
+ */
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "util/rng.h"
+
+namespace fastgl {
+namespace graph {
+
+/** Dense row-major [num_nodes x dim] float feature matrix plus labels. */
+class FeatureStore
+{
+  public:
+    FeatureStore() = default;
+
+    /**
+     * Allocate and initialise features and labels. Each node draws a
+     * label, and its feature row is that class's centroid plus Gaussian
+     * node noise — so the labels are genuinely learnable from the
+     * features (needed by the convergence experiment and examples).
+     * @param num_nodes   row count
+     * @param dim         feature dimension
+     * @param num_classes label range [0, num_classes)
+     * @param seed        RNG seed
+     * @param materialize when false, rows are generated on demand from the
+     *                    seed instead of being stored (used for the large
+     *                    replicas, where 100M x 1024 floats will not fit).
+     */
+    FeatureStore(NodeId num_nodes, int dim, int num_classes, uint64_t seed,
+                 bool materialize = true);
+
+    NodeId num_nodes() const { return num_nodes_; }
+    int dim() const { return dim_; }
+    int num_classes() const { return num_classes_; }
+
+    /** Feature row of node @p u. Valid only when materialised. */
+    std::span<const float> row(NodeId u) const;
+
+    /** Copy the feature row of node @p u into @p out (size dim()). */
+    void gather_row(NodeId u, float *out) const;
+
+    /** Label of node @p u. */
+    int label(NodeId u) const;
+
+    /** Bytes one feature row occupies (dim * sizeof(float)). */
+    uint64_t row_bytes() const { return uint64_t(dim_) * sizeof(float); }
+
+    /** Total bytes of the (possibly virtual) feature matrix. */
+    uint64_t
+    total_bytes() const
+    {
+        return uint64_t(num_nodes_) * row_bytes();
+    }
+
+    bool materialized() const { return materialized_; }
+
+    /** Generator seed: rows/labels are a pure function of (seed, node). */
+    uint64_t seed() const { return seed_; }
+
+  private:
+    /** Label of @p u as a pure function of (seed, node). */
+    int virtual_label(NodeId u) const;
+
+    /** Generate the feature row of @p u (centroid + node noise). */
+    void generate_row(NodeId u, float *out) const;
+
+    NodeId num_nodes_ = 0;
+    int dim_ = 0;
+    int num_classes_ = 1;
+    uint64_t seed_ = 0;
+    bool materialized_ = true;
+    std::vector<float> data_;
+    std::vector<int32_t> labels_;
+    std::vector<float> centroids_; ///< [num_classes x dim] class means.
+};
+
+} // namespace graph
+} // namespace fastgl

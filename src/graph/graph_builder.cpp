@@ -1,0 +1,71 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fastgl {
+namespace graph {
+
+GraphBuilder::GraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes)
+{
+    FASTGL_CHECK(num_nodes >= 0, "node count must be non-negative");
+}
+
+void
+GraphBuilder::add_edge(NodeId src, NodeId dst)
+{
+    FASTGL_CHECK(src >= 0 && src < num_nodes_, "src out of range");
+    FASTGL_CHECK(dst >= 0 && dst < num_nodes_, "dst out of range");
+    edges_.emplace_back(src, dst);
+}
+
+void
+GraphBuilder::add_undirected_edge(NodeId u, NodeId v)
+{
+    add_edge(u, v);
+    add_edge(v, u);
+}
+
+CsrGraph
+GraphBuilder::build(bool dedup)
+{
+    // Counting sort by destination: edge (src, dst) lands in row dst.
+    std::vector<EdgeId> indptr(num_nodes_ + 1, 0);
+    for (const auto &[src, dst] : edges_) {
+        (void)src;
+        ++indptr[dst + 1];
+    }
+    for (NodeId u = 0; u < num_nodes_; ++u)
+        indptr[u + 1] += indptr[u];
+
+    std::vector<NodeId> indices(edges_.size());
+    std::vector<EdgeId> cursor(indptr.begin(), indptr.end() - 1);
+    for (const auto &[src, dst] : edges_)
+        indices[cursor[dst]++] = src;
+
+    // Sort each row; optionally drop duplicates and self loops.
+    std::vector<EdgeId> new_indptr(num_nodes_ + 1, 0);
+    size_t write = 0;
+    for (NodeId u = 0; u < num_nodes_; ++u) {
+        EdgeId begin = indptr[u], end = indptr[u + 1];
+        std::sort(indices.begin() + begin, indices.begin() + end);
+        for (EdgeId e = begin; e < end; ++e) {
+            if (dedup) {
+                if (indices[e] == u)
+                    continue; // self loop
+                if (e > begin && indices[e] == indices[e - 1])
+                    continue; // duplicate
+            }
+            indices[write++] = indices[e];
+        }
+        new_indptr[u + 1] = static_cast<EdgeId>(write);
+    }
+    indices.resize(write);
+    edges_.clear();
+    edges_.shrink_to_fit();
+    return CsrGraph(std::move(new_indptr), std::move(indices));
+}
+
+} // namespace graph
+} // namespace fastgl

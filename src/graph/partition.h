@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Graph partitioning: the substrate for ClusterGCN-style partition
+ * sampling and for the multi-machine extension (paper Section 7.1).
+ *
+ * Two partitioners are provided: a BFS block partitioner (cheap,
+ * locality-preserving on ID-clustered graphs like R-MAT output) and a
+ * streaming LDG (linear deterministic greedy) partitioner that balances
+ * sizes while minimising cut edges.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace fastgl {
+namespace graph {
+
+/** A disjoint partition of the node set. */
+struct Partitioning
+{
+    /** part_of[u] = partition index of node u. */
+    std::vector<int32_t> part_of;
+    /** members[p] = sorted node IDs of partition p. */
+    std::vector<std::vector<NodeId>> members;
+
+    int num_parts() const { return int(members.size()); }
+
+    /** Number of edges whose endpoints lie in different partitions. */
+    int64_t count_cut_edges(const CsrGraph &graph) const;
+
+    /** max(|part|) / (n / k): 1.0 is perfectly balanced. */
+    double balance(const CsrGraph &graph) const;
+};
+
+/**
+ * BFS partitioner: grow partitions by breadth-first traversal until each
+ * holds ~n/k nodes. Deterministic for a given graph.
+ */
+Partitioning partition_bfs(const CsrGraph &graph, int num_parts);
+
+/**
+ * Streaming LDG partitioner: place each node (in degree-descending
+ * order) into the partition holding most of its already-placed
+ * neighbours, weighted by remaining capacity.
+ */
+Partitioning partition_ldg(const CsrGraph &graph, int num_parts);
+
+} // namespace graph
+} // namespace fastgl

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Binary serialization for graphs and datasets — the "data loader" role
+ * DGL plays in the original system (paper Section 5). Replica generation
+ * is deterministic but not free; persisting a dataset makes repeated
+ * benchmark runs and external tooling cheap.
+ *
+ * Format: little-endian, magic + version header, then raw arrays. Not
+ * intended to be portable across endianness.
+ */
+#pragma once
+
+#include <string>
+
+#include "graph/csr_graph.h"
+#include "graph/datasets.h"
+
+namespace fastgl {
+namespace graph {
+
+/** Write @p graph to @p path. @return false on IO failure. */
+bool save_graph(const CsrGraph &graph, const std::string &path);
+
+/**
+ * Read a graph written by save_graph.
+ * @param[out] graph destination
+ * @return false on IO failure, bad magic, or failed validation.
+ */
+bool load_graph(CsrGraph &graph, const std::string &path);
+
+/**
+ * Write a whole dataset (topology + feature/label parameters + split).
+ * Features are stored by their generator seed (they are a pure function
+ * of it), so files stay small even for wide features.
+ */
+bool save_dataset(const Dataset &dataset, const std::string &path);
+
+/** Read a dataset written by save_dataset. */
+bool load_dataset(Dataset &dataset, const std::string &path,
+                  bool materialize_features = true);
+
+} // namespace graph
+} // namespace fastgl

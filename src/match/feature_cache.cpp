@@ -1,0 +1,69 @@
+#include "match/feature_cache.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace fastgl {
+namespace match {
+
+StaticFeatureCache::StaticFeatureCache(
+    graph::NodeId num_nodes, const std::vector<graph::NodeId> &ranking,
+    int64_t capacity_rows)
+    : cached_(static_cast<size_t>(num_nodes), false),
+      capacity_rows_(capacity_rows)
+{
+    const int64_t fill =
+        std::min<int64_t>(capacity_rows, int64_t(ranking.size()));
+    for (int64_t i = 0; i < fill; ++i) {
+        const graph::NodeId node = ranking[static_cast<size_t>(i)];
+        FASTGL_CHECK(node >= 0 && node < num_nodes,
+                     "ranking node out of range");
+        cached_[static_cast<size_t>(node)] = true;
+    }
+}
+
+int64_t
+StaticFeatureCache::lookup_batch(std::span<const graph::NodeId> nodes)
+{
+    int64_t miss = 0;
+    for (graph::NodeId node : nodes) {
+        if (contains(node))
+            ++hits_;
+        else {
+            ++misses_;
+            ++miss;
+        }
+    }
+    return miss;
+}
+
+std::vector<graph::NodeId>
+degree_ranking(const graph::CsrGraph &graph)
+{
+    std::vector<graph::NodeId> ranking(
+        static_cast<size_t>(graph.num_nodes()));
+    std::iota(ranking.begin(), ranking.end(), 0);
+    std::stable_sort(ranking.begin(), ranking.end(),
+                     [&graph](graph::NodeId a, graph::NodeId b) {
+                         return graph.degree(a) > graph.degree(b);
+                     });
+    return ranking;
+}
+
+std::vector<graph::NodeId>
+presample_ranking(const std::vector<int64_t> &frequencies)
+{
+    std::vector<graph::NodeId> ranking(frequencies.size());
+    std::iota(ranking.begin(), ranking.end(), 0);
+    std::stable_sort(ranking.begin(), ranking.end(),
+                     [&frequencies](graph::NodeId a, graph::NodeId b) {
+                         return frequencies[static_cast<size_t>(a)] >
+                                frequencies[static_cast<size_t>(b)];
+                     });
+    return ranking;
+}
+
+} // namespace match
+} // namespace fastgl

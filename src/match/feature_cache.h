@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Software-controlled GPU feature caches — the strategy of the PaGraph and
+ * GNNLab baselines (paper Sections 2.3, 3.1, Fig. 10a).
+ *
+ * A portion of free device memory holds the features of "hot" nodes; a
+ * batch node whose feature is cached skips the PCIe transfer. FastGL also
+ * layers this cache on top of Match when memory is plentiful (Section 5).
+ */
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace fastgl {
+namespace match {
+
+/** How the static cache ranks node hotness. */
+enum class CachePolicy
+{
+    kDegree,    ///< PaGraph: cache high-out-degree nodes.
+    kPresample, ///< GNNLab: cache nodes most frequent in presampled batches.
+};
+
+/**
+ * Static (fill-once) feature cache over a hotness ranking.
+ *
+ * Both PaGraph and GNNLab fill the cache before training and never evict;
+ * the policies differ only in the ranking.
+ */
+class StaticFeatureCache
+{
+  public:
+    /**
+     * @param num_nodes   graph node count
+     * @param ranking     node IDs from hottest to coldest (may be shorter
+     *                    than num_nodes; unranked nodes are never cached)
+     * @param capacity_rows number of feature rows that fit in the cache
+     */
+    StaticFeatureCache(graph::NodeId num_nodes,
+                       const std::vector<graph::NodeId> &ranking,
+                       int64_t capacity_rows);
+
+    /** True when @p node's features are resident. */
+    bool
+    contains(graph::NodeId node) const
+    {
+        return cached_[static_cast<size_t>(node)];
+    }
+
+    /**
+     * Count hits/misses of a batch node list; accumulates statistics.
+     * @return number of misses (rows that must cross PCIe).
+     */
+    int64_t lookup_batch(std::span<const graph::NodeId> nodes);
+
+    int64_t capacity_rows() const { return capacity_rows_; }
+    int64_t hits() const { return hits_; }
+    int64_t misses() const { return misses_; }
+
+    /** Hit fraction over all lookups so far. */
+    double
+    hit_rate() const
+    {
+        const int64_t total = hits_ + misses_;
+        return total ? double(hits_) / double(total) : 0.0;
+    }
+
+    void reset_stats() { hits_ = misses_ = 0; }
+
+  private:
+    std::vector<bool> cached_;
+    int64_t capacity_rows_;
+    int64_t hits_ = 0;
+    int64_t misses_ = 0;
+};
+
+/** PaGraph-style ranking: nodes sorted by descending degree. */
+std::vector<graph::NodeId> degree_ranking(const graph::CsrGraph &graph);
+
+/**
+ * GNNLab-style ranking: presample @p epochs' worth of batches and rank
+ * nodes by how often they appear (hotness). @p frequencies is typically
+ * gathered by running the sampler over a few batches.
+ */
+std::vector<graph::NodeId>
+presample_ranking(const std::vector<int64_t> &frequencies);
+
+} // namespace match
+} // namespace fastgl

@@ -1,0 +1,102 @@
+#include "match/match_degree.h"
+
+#include <algorithm>
+
+namespace fastgl {
+namespace match {
+
+NodeSet::NodeSet(const std::vector<graph::NodeId> &nodes) : sorted_(nodes)
+{
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_.erase(std::unique(sorted_.begin(), sorted_.end()),
+                  sorted_.end());
+}
+
+int64_t
+NodeSet::intersection_size(const NodeSet &other) const
+{
+    const auto &a = sorted_;
+    const auto &b = other.sorted_;
+    size_t i = 0, j = 0;
+    int64_t count = 0;
+    while (i < a.size() && j < b.size()) {
+        if (a[i] < b[j]) {
+            ++i;
+        } else if (b[j] < a[i]) {
+            ++j;
+        } else {
+            ++count;
+            ++i;
+            ++j;
+        }
+    }
+    return count;
+}
+
+void
+NodeSet::difference(const NodeSet &other,
+                    std::vector<graph::NodeId> &out) const
+{
+    std::set_difference(sorted_.begin(), sorted_.end(),
+                        other.sorted_.begin(), other.sorted_.end(),
+                        std::back_inserter(out));
+}
+
+bool
+NodeSet::contains(graph::NodeId node) const
+{
+    return std::binary_search(sorted_.begin(), sorted_.end(), node);
+}
+
+double
+match_degree(const NodeSet &a, const NodeSet &b)
+{
+    const int64_t smaller = std::min(a.size(), b.size());
+    if (smaller == 0)
+        return 0.0;
+    return static_cast<double>(a.intersection_size(b)) /
+           static_cast<double>(smaller);
+}
+
+std::vector<std::vector<double>>
+match_degree_matrix(const std::vector<NodeSet> &sets)
+{
+    const size_t n = sets.size();
+    std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
+    for (size_t i = 0; i < n; ++i) {
+        m[i][i] = 1.0;
+        for (size_t j = i + 1; j < n; ++j) {
+            const double d = match_degree(sets[i], sets[j]);
+            m[i][j] = d;
+            m[j][i] = d;
+        }
+    }
+    return m;
+}
+
+MatchDegreeStats
+match_degree_stats(const std::vector<NodeSet> &sets)
+{
+    MatchDegreeStats stats;
+    if (sets.size() < 2)
+        return stats;
+    double sum = 0.0;
+    double lo = 1.0, hi = 0.0;
+    int64_t pairs = 0;
+    for (size_t i = 0; i < sets.size(); ++i) {
+        for (size_t j = i + 1; j < sets.size(); ++j) {
+            const double d = match_degree(sets[i], sets[j]);
+            sum += d;
+            lo = std::min(lo, d);
+            hi = std::max(hi, d);
+            ++pairs;
+        }
+    }
+    stats.average = sum / static_cast<double>(pairs);
+    stats.min = lo;
+    stats.max = hi;
+    return stats;
+}
+
+} // namespace match
+} // namespace fastgl

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Match-degree computation (paper Section 4.1, Table 4).
+ *
+ * The match degree between subgraphs i and j is
+ *   M_ij = N_o / min(N_i, N_j)
+ * where N_o is the number of overlapping nodes. It quantifies how much
+ * feature traffic the Match process can save when j runs right after i.
+ */
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace fastgl {
+namespace match {
+
+/** A node set prepared for fast intersection (sorted unique IDs). */
+class NodeSet
+{
+  public:
+    NodeSet() = default;
+
+    /** Build from an arbitrary node list (copies, sorts, dedups). */
+    explicit NodeSet(const std::vector<graph::NodeId> &nodes);
+
+    /** Number of unique nodes. */
+    int64_t size() const { return int64_t(sorted_.size()); }
+
+    /** Sorted unique node IDs. */
+    const std::vector<graph::NodeId> &sorted() const { return sorted_; }
+
+    /** |this ∩ other| via linear merge. */
+    int64_t intersection_size(const NodeSet &other) const;
+
+    /** this \ other, appended to @p out (sorted). */
+    void difference(const NodeSet &other,
+                    std::vector<graph::NodeId> &out) const;
+
+    /** Membership test (binary search). */
+    bool contains(graph::NodeId node) const;
+
+  private:
+    std::vector<graph::NodeId> sorted_;
+};
+
+/** M_ij between two node sets; 0 when either set is empty. */
+double match_degree(const NodeSet &a, const NodeSet &b);
+
+/** Symmetric full match-degree matrix over @p sets (diagonal = 1). */
+std::vector<std::vector<double>>
+match_degree_matrix(const std::vector<NodeSet> &sets);
+
+/** Summary statistics of one epoch's consecutive-pair match degrees. */
+struct MatchDegreeStats
+{
+    double average = 0.0;  ///< Avg(M_ij) over all distinct pairs.
+    double min = 0.0;
+    double max = 0.0;
+
+    /** The paper's ΔM: max - min over the epoch. */
+    double delta() const { return max - min; }
+};
+
+/** Stats over all distinct pairs of @p sets. */
+MatchDegreeStats match_degree_stats(const std::vector<NodeSet> &sets);
+
+} // namespace match
+} // namespace fastgl

@@ -1,0 +1,163 @@
+#include "match/reorder.h"
+
+#include "util/logging.h"
+
+namespace fastgl {
+namespace match {
+
+ReorderResult
+greedy_reorder(const std::vector<NodeSet> &batches)
+{
+    return greedy_reorder(match_degree_matrix(batches));
+}
+
+ReorderResult
+greedy_reorder(const std::vector<std::vector<double>> &m)
+{
+    const int64_t n = static_cast<int64_t>(m.size());
+    ReorderResult result;
+    if (n == 0)
+        return result;
+    for (const auto &row : m)
+        FASTGL_CHECK(static_cast<int64_t>(row.size()) == n,
+                     "match matrix must be square");
+
+    std::vector<bool> inserted(n, false);
+    result.order.reserve(n);
+
+    // Line 4: the first sampled subgraph anchors the chain.
+    result.order.push_back(0);
+    inserted[0] = true;
+    int64_t z = 0;
+
+    for (int64_t i = 1; i < n; ++i) {
+        // Line 7: h = argmax over not-inserted k of m[z][k].
+        int64_t h = -1;
+        double best = -1.0;
+        for (int64_t k = 0; k < n; ++k) {
+            if (inserted[k])
+                continue; // Line 9: inserted rows/columns are zeroed.
+            if (m[z][k] > best) {
+                best = m[z][k];
+                h = k;
+            }
+        }
+        result.order.push_back(h);
+        inserted[h] = true;
+        result.chained_match += best;
+        z = h;
+    }
+
+    for (int64_t i = 1; i < n; ++i)
+        result.baseline_match += m[i - 1][i];
+    return result;
+}
+
+ReorderResult
+greedy_reorder_anchored(const NodeSet &anchor,
+                        const std::vector<NodeSet> &batches)
+{
+    const int64_t n = static_cast<int64_t>(batches.size());
+    ReorderResult result;
+    if (n == 0)
+        return result;
+    const auto m = match_degree_matrix(batches);
+
+    // Pick the batch matching the anchor best as the chain head.
+    int64_t head = 0;
+    double best = -1.0;
+    for (int64_t k = 0; k < n; ++k) {
+        const double d = match_degree(anchor, batches[k]);
+        if (d > best) {
+            best = d;
+            head = k;
+        }
+    }
+
+    std::vector<bool> inserted(n, false);
+    result.order.push_back(head);
+    inserted[head] = true;
+    int64_t z = head;
+    for (int64_t i = 1; i < n; ++i) {
+        int64_t h = -1;
+        double top = -1.0;
+        for (int64_t k = 0; k < n; ++k) {
+            if (inserted[k])
+                continue;
+            if (m[z][k] > top) {
+                top = m[z][k];
+                h = k;
+            }
+        }
+        result.order.push_back(h);
+        inserted[h] = true;
+        result.chained_match += top;
+        z = h;
+    }
+    for (int64_t i = 1; i < n; ++i)
+        result.baseline_match += m[i - 1][i];
+    return result;
+}
+
+ReorderResult
+greedy_reorder_max_overlap(const NodeSet *anchor,
+                           const std::vector<NodeSet> &batches)
+{
+    const int64_t n = static_cast<int64_t>(batches.size());
+    ReorderResult result;
+    if (n == 0)
+        return result;
+
+    // Pairwise raw overlap counts.
+    std::vector<std::vector<int64_t>> overlap(
+        static_cast<size_t>(n), std::vector<int64_t>(n, 0));
+    for (int64_t i = 0; i < n; ++i) {
+        for (int64_t j = i + 1; j < n; ++j) {
+            const int64_t o = batches[static_cast<size_t>(i)]
+                                  .intersection_size(
+                                      batches[static_cast<size_t>(j)]);
+            overlap[i][j] = o;
+            overlap[j][i] = o;
+        }
+    }
+
+    int64_t head = 0;
+    if (anchor != nullptr) {
+        int64_t best = -1;
+        for (int64_t k = 0; k < n; ++k) {
+            const int64_t o = anchor->intersection_size(
+                batches[static_cast<size_t>(k)]);
+            if (o > best) {
+                best = o;
+                head = k;
+            }
+        }
+    }
+
+    std::vector<bool> inserted(n, false);
+    result.order.push_back(head);
+    inserted[head] = true;
+    int64_t z = head;
+    for (int64_t i = 1; i < n; ++i) {
+        int64_t h = -1;
+        int64_t best = -1;
+        for (int64_t k = 0; k < n; ++k) {
+            if (inserted[k])
+                continue;
+            if (overlap[z][k] > best) {
+                best = overlap[z][k];
+                h = k;
+            }
+        }
+        result.order.push_back(h);
+        inserted[h] = true;
+        result.chained_match += double(best);
+        z = h;
+    }
+    for (int64_t i = 1; i < n; ++i)
+        result.baseline_match += double(overlap[i - 1][i]);
+    return result;
+}
+
+} // namespace match
+} // namespace fastgl

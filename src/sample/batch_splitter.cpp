@@ -1,0 +1,46 @@
+#include "sample/batch_splitter.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fastgl {
+namespace sample {
+
+BatchSplitter::BatchSplitter(std::vector<graph::NodeId> train_nodes,
+                             int64_t batch_size, uint64_t seed)
+    : nodes_(std::move(train_nodes)), batch_size_(batch_size), rng_(seed)
+{
+    FASTGL_CHECK(batch_size_ > 0, "batch size must be positive");
+    FASTGL_CHECK(!nodes_.empty(), "no training nodes");
+}
+
+int64_t
+BatchSplitter::num_batches() const
+{
+    return (int64_t(nodes_.size()) + batch_size_ - 1) / batch_size_;
+}
+
+void
+BatchSplitter::shuffle_epoch()
+{
+    // Fisher-Yates with the deterministic engine.
+    for (size_t i = nodes_.size(); i > 1; --i) {
+        const size_t j = rng_.next_below(i);
+        std::swap(nodes_[i - 1], nodes_[j]);
+    }
+}
+
+std::span<const graph::NodeId>
+BatchSplitter::batch(int64_t index) const
+{
+    FASTGL_CHECK(index >= 0 && index < num_batches(),
+                 "batch index out of range");
+    const size_t begin = static_cast<size_t>(index * batch_size_);
+    const size_t end =
+        std::min(nodes_.size(), begin + static_cast<size_t>(batch_size_));
+    return {nodes_.data() + begin, end - begin};
+}
+
+} // namespace sample
+} // namespace fastgl

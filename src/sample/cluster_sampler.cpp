@@ -1,0 +1,56 @@
+#include "sample/cluster_sampler.h"
+
+#include <algorithm>
+
+#include "sample/subgraph_inducer.h"
+#include "util/logging.h"
+
+namespace fastgl {
+namespace sample {
+
+ClusterSampler::ClusterSampler(const graph::CsrGraph &graph,
+                               ClusterSamplerOptions opts)
+    : graph_(graph),
+      opts_(std::move(opts)),
+      parts_(graph::partition_ldg(graph, opts_.num_parts)),
+      rng_(opts_.seed),
+      table_(1024)
+{
+    FASTGL_CHECK(opts_.parts_per_batch > 0 &&
+                     opts_.parts_per_batch <= opts_.num_parts,
+                 "invalid parts_per_batch");
+}
+
+SampledSubgraph
+ClusterSampler::sample()
+{
+    // Choose q distinct partitions uniformly (partial Fisher-Yates).
+    std::vector<int> ids(static_cast<size_t>(opts_.num_parts));
+    for (int p = 0; p < opts_.num_parts; ++p)
+        ids[static_cast<size_t>(p)] = p;
+    for (int i = 0; i < opts_.parts_per_batch; ++i) {
+        const size_t j =
+            size_t(i) + size_t(rng_.next_below(
+                            uint64_t(opts_.num_parts - i)));
+        std::swap(ids[size_t(i)], ids[j]);
+    }
+    return sample_clusters({ids.data(),
+                            static_cast<size_t>(opts_.parts_per_batch)});
+}
+
+SampledSubgraph
+ClusterSampler::sample_clusters(std::span<const int> cluster_ids)
+{
+    std::vector<graph::NodeId> members;
+    for (int c : cluster_ids) {
+        FASTGL_CHECK(c >= 0 && c < parts_.num_parts(),
+                     "cluster id out of range");
+        const auto &part = parts_.members[static_cast<size_t>(c)];
+        members.insert(members.end(), part.begin(), part.end());
+    }
+    FASTGL_CHECK(!members.empty(), "empty partition union");
+    return induce_subgraph(graph_, members, opts_.num_layers, table_);
+}
+
+} // namespace sample
+} // namespace fastgl

@@ -1,0 +1,157 @@
+#include "sample/fused_hash_table.h"
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace fastgl {
+namespace sample {
+
+namespace {
+
+constexpr graph::NodeId kEmptyKey = -1;
+
+size_t
+next_pow2(size_t n)
+{
+    size_t p = 16;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+/** Finalizer-style hash spreading global IDs across slots. */
+uint64_t
+hash_id(graph::NodeId global)
+{
+    uint64_t x = static_cast<uint64_t>(global);
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+FusedHashTable::FusedHashTable(size_t capacity_hint)
+{
+    reset(capacity_hint);
+}
+
+void
+FusedHashTable::reset(size_t capacity_hint)
+{
+    const size_t slots = next_pow2(capacity_hint * 2 + 1);
+    if (slots != keys_.size()) {
+        // std::atomic is not movable; rebuild the arrays.
+        keys_ = std::vector<std::atomic<graph::NodeId>>(slots);
+        values_ = std::vector<std::atomic<int64_t>>(slots);
+        mask_ = slots - 1;
+    }
+    for (auto &key : keys_)
+        key.store(kEmptyKey, std::memory_order_relaxed);
+    for (auto &value : values_)
+        value.store(0, std::memory_order_relaxed);
+    next_local_.store(0, std::memory_order_relaxed);
+    probes_.store(0, std::memory_order_relaxed);
+}
+
+size_t
+FusedHashTable::slot_for(graph::NodeId global) const
+{
+    return static_cast<size_t>(hash_id(global)) & mask_;
+}
+
+bool
+FusedHashTable::insert(graph::NodeId global)
+{
+    FASTGL_CHECK(global >= 0, "negative global ID");
+    size_t index = slot_for(global);
+    uint64_t local_probes = 0;
+    for (;;) {
+        ++local_probes;
+        graph::NodeId expected = kEmptyKey;
+        std::atomic<graph::NodeId> &slot = keys_[index];
+        // Algorithm 2 line 13: Val = atomicCAS(HashIndex, -1, GlobalID).
+        if (slot.compare_exchange_strong(expected, global,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+            // Flag == False: fresh insertion — draw the next local ID
+            // (line 28-29: value <- LocalID; atomicAdd(LocalID, 1)).
+            const int64_t local =
+                next_local_.fetch_add(1, std::memory_order_acq_rel);
+            values_[index].store(local, std::memory_order_release);
+            probes_.fetch_add(local_probes, std::memory_order_relaxed);
+            return true;
+        }
+        if (expected == global) {
+            // Flag == True: another thread owns this global ID; no-op.
+            probes_.fetch_add(local_probes, std::memory_order_relaxed);
+            return false;
+        }
+        // Conflict: linear probing (line 20).
+        index = (index + 1) & mask_;
+        FASTGL_CHECK(local_probes <= keys_.size(),
+                     "hash table is full — capacity hint too small");
+    }
+}
+
+void
+FusedHashTable::insert_stream(std::span<const graph::NodeId> stream)
+{
+    for (graph::NodeId global : stream)
+        insert(global);
+}
+
+void
+FusedHashTable::insert_stream_parallel(
+    std::span<const graph::NodeId> stream, util::ThreadPool &pool)
+{
+    pool.parallel_for(stream.size(), [this, stream](size_t begin,
+                                                    size_t end) {
+        for (size_t i = begin; i < end; ++i)
+            insert(stream[i]);
+    });
+}
+
+graph::NodeId
+FusedHashTable::lookup(graph::NodeId global) const
+{
+    size_t index = slot_for(global);
+    uint64_t local_probes = 0;
+    for (;;) {
+        ++local_probes;
+        const graph::NodeId key = keys_[index].load(std::memory_order_acquire);
+        if (key == global) {
+            probes_.fetch_add(local_probes, std::memory_order_relaxed);
+            return values_[index].load(std::memory_order_acquire);
+        }
+        if (key == kEmptyKey) {
+            probes_.fetch_add(local_probes, std::memory_order_relaxed);
+            return graph::kInvalidNode;
+        }
+        index = (index + 1) & mask_;
+        if (local_probes > keys_.size())
+            return graph::kInvalidNode;
+    }
+}
+
+std::vector<graph::NodeId>
+FusedHashTable::local_to_global() const
+{
+    std::vector<graph::NodeId> result(
+        static_cast<size_t>(size()), graph::kInvalidNode);
+    for (size_t i = 0; i < keys_.size(); ++i) {
+        const graph::NodeId key = keys_[i].load(std::memory_order_acquire);
+        if (key != kEmptyKey) {
+            const int64_t local =
+                values_[i].load(std::memory_order_acquire);
+            FASTGL_CHECK(local >= 0 &&
+                             local < static_cast<int64_t>(result.size()),
+                         "local ID out of range");
+            result[static_cast<size_t>(local)] = key;
+        }
+    }
+    return result;
+}
+
+} // namespace sample
+} // namespace fastgl

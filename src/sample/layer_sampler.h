@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Layer-wise importance sampler in the FastGCN/LADIES family (paper
+ * Section 7 cites both as ID-map users): instead of expanding every
+ * target's neighbourhood independently, each hop samples a fixed budget
+ * of nodes from the union of the frontier's neighbours, weighted by how
+ * many frontier nodes reference them. This bounds the neighbour
+ * explosion while preserving connectivity (LADIES-style conditioning).
+ */
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "sample/fused_hash_table.h"
+#include "sample/minibatch.h"
+#include "util/rng.h"
+
+namespace fastgl {
+namespace sample {
+
+/** Options for LayerSampler. */
+struct LayerSamplerOptions
+{
+    /**
+     * Per-hop node budgets in the paper's fanout order (input layer
+     * first; the hop adjacent to the seeds uses the last entry).
+     */
+    std::vector<int64_t> layer_sizes = {1024, 512, 256};
+    uint64_t seed = 1;
+};
+
+/** Layer-wise importance sampling over a fixed CSR graph. */
+class LayerSampler
+{
+  public:
+    LayerSampler(const graph::CsrGraph &graph, LayerSamplerOptions opts);
+
+    /**
+     * Sample one mini-batch subgraph: one LayerBlock per hop with the
+     * same monotone local-ID layout as NeighborSampler (block h targets
+     * are local IDs [0, n_h)), so GnnModel consumes the result directly.
+     */
+    SampledSubgraph sample(std::span<const graph::NodeId> seeds);
+
+    const LayerSamplerOptions &options() const { return opts_; }
+    int num_hops() const { return int(opts_.layer_sizes.size()); }
+
+  private:
+    const graph::CsrGraph &graph_;
+    LayerSamplerOptions opts_;
+    util::Rng rng_;
+    FusedHashTable table_;
+};
+
+} // namespace sample
+} // namespace fastgl

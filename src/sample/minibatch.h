@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Sampled-subgraph data types shared by the samplers, the Match-Reorder
+ * planner, and the compute layers.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "sim/kernel_model.h"
+
+namespace fastgl {
+namespace sample {
+
+/**
+ * One message-flow block: the bipartite edges of a single GNN layer in
+ * local-ID space. Targets of hop h are the frontier sampled at hop h;
+ * sources include the sampled neighbours plus a self edge per target.
+ */
+struct LayerBlock
+{
+    /** Local IDs of the aggregation targets. */
+    std::vector<graph::NodeId> targets;
+    /** CSR row pointer over targets (size targets.size()+1). */
+    std::vector<graph::EdgeId> indptr;
+    /** Local IDs of edge sources (size indptr.back()). */
+    std::vector<graph::NodeId> sources;
+
+    int64_t num_targets() const { return int64_t(targets.size()); }
+    int64_t num_edges() const { return int64_t(sources.size()); }
+
+    /** Average in-degree of this block. */
+    double
+    avg_degree() const
+    {
+        return targets.empty()
+                   ? 0.0
+                   : double(num_edges()) / double(num_targets());
+    }
+};
+
+/**
+ * A fully sampled mini-batch subgraph.
+ *
+ * Local ID i corresponds to global node nodes[i]; the seed nodes occupy
+ * local IDs [0, num_seeds). Blocks are ordered from the seed layer
+ * (blocks[0]) outward to the input layer (blocks.back()); the forward pass
+ * of an L-layer GNN consumes them in reverse.
+ */
+struct SampledSubgraph
+{
+    /** Unique global node IDs; position is the local ID. */
+    std::vector<graph::NodeId> nodes;
+    /** Seed (training target) count; seeds are local IDs [0, num_seeds). */
+    int64_t num_seeds = 0;
+    /** Per-hop bipartite blocks, seed layer first. */
+    std::vector<LayerBlock> blocks;
+
+    // --- Measured counts feeding the device model ---
+    /** Total sampled node instances including duplicates. */
+    int64_t instances = 0;
+    /** Edges examined while sampling (drives sample-phase time). */
+    int64_t edges_examined = 0;
+    /** Hash-probe and unique counts of the ID-map pass. */
+    sim::IdMapWorkload id_map;
+
+    int64_t num_nodes() const { return int64_t(nodes.size()); }
+
+    int64_t
+    total_edges() const
+    {
+        int64_t total = 0;
+        for (const auto &block : blocks)
+            total += block.num_edges();
+        return total;
+    }
+
+    /** Bytes of the subgraph topology (what memory IO ships besides features). */
+    uint64_t
+    topology_bytes() const
+    {
+        uint64_t bytes = nodes.size() * sizeof(graph::NodeId);
+        for (const auto &block : blocks) {
+            bytes += block.targets.size() * sizeof(graph::NodeId) +
+                     block.indptr.size() * sizeof(graph::EdgeId) +
+                     block.sources.size() * sizeof(graph::NodeId);
+        }
+        return bytes;
+    }
+};
+
+} // namespace sample
+} // namespace fastgl

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Uniform k-hop neighbour sampler (GraphSAGE-style), the workhorse of the
+ * paper's evaluation: 3-hop random neighbourhood sampling with per-layer
+ * fanouts [5, 10, 15] following GNNLab's settings.
+ */
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "sample/fused_hash_table.h"
+#include "sample/minibatch.h"
+#include "util/rng.h"
+
+namespace fastgl {
+namespace sample {
+
+/** Options for NeighborSampler. */
+struct NeighborSamplerOptions
+{
+    /**
+     * Per-layer fanouts in the paper's order: fanouts[k] is the neighbour
+     * budget of the k-th GNN layer counting from the *input* layer, so the
+     * hop adjacent to the seeds uses fanouts.back(). The default is the
+     * paper's [5, 10, 15].
+     */
+    std::vector<int> fanouts = {5, 10, 15};
+    /** Add one self edge per target so Eq. 1 covers the GCN self term. */
+    bool add_self_loops = true;
+    /**
+     * Sample neighbours with replacement (DGL supports both modes).
+     * Without replacement (default) a node's sampled degree is
+     * min(degree, fanout); with replacement it is always the fanout.
+     */
+    bool replace = false;
+    uint64_t seed = 1;
+};
+
+/** Samples k-hop subgraphs from a fixed CSR graph. */
+class NeighborSampler
+{
+  public:
+    NeighborSampler(const graph::CsrGraph &graph,
+                    NeighborSamplerOptions opts);
+
+    /**
+     * Sample one mini-batch subgraph rooted at @p seeds.
+     *
+     * Nodes are assigned dense local IDs through a FusedHashTable in
+     * insertion order (seeds first); probe counts and instance counts are
+     * recorded in the result for the device model.
+     */
+    SampledSubgraph sample(std::span<const graph::NodeId> seeds);
+
+    const NeighborSamplerOptions &options() const { return opts_; }
+
+    /** Number of hops (== fanouts.size()). */
+    int num_hops() const { return static_cast<int>(opts_.fanouts.size()); }
+
+  private:
+    const graph::CsrGraph &graph_;
+    NeighborSamplerOptions opts_;
+    util::Rng rng_;
+    FusedHashTable table_;
+    // Scratch reused across calls to avoid reallocation.
+    std::vector<graph::NodeId> scratch_;
+};
+
+} // namespace sample
+} // namespace fastgl

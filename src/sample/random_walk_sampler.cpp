@@ -1,0 +1,121 @@
+#include "sample/random_walk_sampler.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace fastgl {
+namespace sample {
+
+RandomWalkSampler::RandomWalkSampler(const graph::CsrGraph &graph,
+                                     RandomWalkOptions opts)
+    : graph_(graph), opts_(std::move(opts)), rng_(opts_.seed), table_(1024)
+{
+    FASTGL_CHECK(opts_.walk_length > 0, "walk length must be positive");
+    FASTGL_CHECK(opts_.num_walks > 0, "walk count must be positive");
+    FASTGL_CHECK(opts_.top_k > 0, "top_k must be positive");
+}
+
+SampledSubgraph
+RandomWalkSampler::sample(std::span<const graph::NodeId> seeds)
+{
+    FASTGL_CHECK(!seeds.empty(), "empty seed set");
+    const size_t estimate =
+        seeds.size() * (1 + static_cast<size_t>(opts_.top_k));
+    table_.reset(estimate);
+
+    SampledSubgraph sg;
+    sg.num_seeds = static_cast<int64_t>(seeds.size());
+    sg.blocks.resize(1);
+
+    for (graph::NodeId s : seeds) {
+        if (table_.insert(s))
+            sg.nodes.push_back(s);
+        ++sg.instances;
+    }
+
+    LayerBlock &blk = sg.blocks[0];
+    std::vector<graph::NodeId> src_globals;
+    std::vector<graph::EdgeId> counts;
+    counts.reserve(seeds.size());
+
+    std::unordered_map<graph::NodeId, int> visits;
+    std::vector<std::pair<int, graph::NodeId>> ranked;
+
+    for (graph::NodeId s : seeds) {
+        visits.clear();
+        for (int w = 0; w < opts_.num_walks; ++w) {
+            graph::NodeId cur = s;
+            for (int step = 0; step < opts_.walk_length; ++step) {
+                const auto nbrs = graph_.neighbors(cur);
+                if (nbrs.empty())
+                    break;
+                cur = nbrs[rng_.next_below(nbrs.size())];
+                ++sg.edges_examined;
+                if (cur != s)
+                    ++visits[cur];
+            }
+        }
+        ranked.clear();
+        for (const auto &[node, count] : visits)
+            ranked.emplace_back(count, node);
+        // unordered_map iteration order is not deterministic across
+        // implementations; sort by (count desc, hashed id) — hashing the
+        // tie-break keeps it deterministic without funnelling every seed
+        // to the same low-ID nodes when visit counts tie.
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const auto &a, const auto &b) {
+                      if (a.first != b.first)
+                          return a.first > b.first;
+                      auto mix = [](graph::NodeId id) {
+                          uint64_t x = static_cast<uint64_t>(id);
+                          x ^= x >> 33;
+                          x *= 0xFF51AFD7ED558CCDULL;
+                          x ^= x >> 33;
+                          return x;
+                      };
+                      return mix(a.second) < mix(b.second);
+                  });
+        graph::EdgeId count = 0;
+        const size_t keep =
+            std::min(ranked.size(), static_cast<size_t>(opts_.top_k));
+        for (size_t i = 0; i < keep; ++i) {
+            src_globals.push_back(ranked[i].second);
+            ++count;
+            ++sg.instances;
+        }
+        // Self edge so an isolated seed still aggregates itself.
+        src_globals.push_back(s);
+        ++count;
+        counts.push_back(count);
+    }
+
+    for (graph::NodeId v : src_globals) {
+        if (table_.insert(v))
+            sg.nodes.push_back(v);
+    }
+
+    const size_t num_targets = counts.size();
+    blk.targets.resize(num_targets);
+    std::iota(blk.targets.begin(), blk.targets.end(), 0);
+    blk.indptr.resize(num_targets + 1);
+    blk.indptr[0] = 0;
+    for (size_t t = 0; t < num_targets; ++t)
+        blk.indptr[t + 1] = blk.indptr[t] + counts[t];
+    blk.sources.resize(src_globals.size());
+    for (size_t e = 0; e < src_globals.size(); ++e) {
+        blk.sources[e] = table_.lookup(src_globals[e]);
+        FASTGL_CHECK(blk.sources[e] != graph::kInvalidNode,
+                     "walk node missing from ID map");
+    }
+
+    sg.id_map.instances = sg.instances;
+    sg.id_map.uniques = table_.size();
+    sg.id_map.probes = static_cast<int64_t>(table_.probes());
+    return sg;
+}
+
+} // namespace sample
+} // namespace fastgl

@@ -1,0 +1,71 @@
+#include "sample/saint_sampler.h"
+
+#include <algorithm>
+
+#include "sample/subgraph_inducer.h"
+#include "util/logging.h"
+
+namespace fastgl {
+namespace sample {
+
+SaintSampler::SaintSampler(const graph::CsrGraph &graph,
+                           SaintSamplerOptions opts)
+    : graph_(graph), opts_(std::move(opts)), rng_(opts_.seed), table_(1024)
+{
+    FASTGL_CHECK(opts_.budget > 0, "budget must be positive");
+    FASTGL_CHECK(opts_.num_layers > 0, "layer count must be positive");
+    if (opts_.method == SaintMethod::kNode) {
+        degree_prefix_.resize(static_cast<size_t>(graph.num_nodes()) + 1,
+                              0.0);
+        for (graph::NodeId u = 0; u < graph.num_nodes(); ++u) {
+            degree_prefix_[static_cast<size_t>(u) + 1] =
+                degree_prefix_[static_cast<size_t>(u)] +
+                double(graph.degree(u)) + 1.0;
+        }
+    }
+}
+
+SampledSubgraph
+SaintSampler::sample()
+{
+    std::vector<graph::NodeId> members;
+    int64_t draw_instances = 0;
+
+    if (opts_.method == SaintMethod::kNode) {
+        const double total = degree_prefix_.back();
+        members.reserve(static_cast<size_t>(opts_.budget));
+        for (int64_t i = 0; i < opts_.budget; ++i) {
+            const double r = rng_.next_double() * total;
+            const auto it = std::upper_bound(degree_prefix_.begin(),
+                                             degree_prefix_.end(), r);
+            graph::NodeId u = graph::NodeId(
+                std::distance(degree_prefix_.begin(), it)) - 1;
+            u = std::clamp<graph::NodeId>(u, 0, graph_.num_nodes() - 1);
+            members.push_back(u);
+            ++draw_instances;
+        }
+    } else {
+        // Uniform edge sampling: pick a random position in the CSR
+        // column array; its row is found by binary search.
+        const auto &indptr = graph_.indptr();
+        members.reserve(static_cast<size_t>(opts_.budget) * 2);
+        for (int64_t i = 0; i < opts_.budget; ++i) {
+            const graph::EdgeId e = graph::EdgeId(
+                rng_.next_below(uint64_t(graph_.num_edges())));
+            const auto it =
+                std::upper_bound(indptr.begin(), indptr.end(), e);
+            const graph::NodeId dst =
+                graph::NodeId(std::distance(indptr.begin(), it)) - 1;
+            const graph::NodeId src = graph_.indices()[size_t(e)];
+            members.push_back(dst);
+            members.push_back(src);
+            draw_instances += 2;
+        }
+    }
+
+    return induce_subgraph(graph_, members, opts_.num_layers, table_,
+                           draw_instances);
+}
+
+} // namespace sample
+} // namespace fastgl

@@ -1,0 +1,58 @@
+#include "sim/device_memory.h"
+
+namespace fastgl {
+namespace sim {
+
+bool
+DeviceMemory::allocate(const std::string &tag, uint64_t bytes)
+{
+    if (used_ + bytes > capacity_)
+        return false;
+    tags_[tag] += bytes;
+    used_ += bytes;
+    peak_ = std::max(peak_, used_);
+    return true;
+}
+
+void
+DeviceMemory::free_tag(const std::string &tag)
+{
+    auto it = tags_.find(tag);
+    if (it == tags_.end())
+        return;
+    used_ -= it->second;
+    tags_.erase(it);
+}
+
+bool
+DeviceMemory::resize(const std::string &tag, uint64_t bytes)
+{
+    const uint64_t current = tag_bytes(tag);
+    if (used_ - current + bytes > capacity_)
+        return false;
+    used_ = used_ - current + bytes;
+    if (bytes == 0)
+        tags_.erase(tag);
+    else
+        tags_[tag] = bytes;
+    peak_ = std::max(peak_, used_);
+    return true;
+}
+
+uint64_t
+DeviceMemory::tag_bytes(const std::string &tag) const
+{
+    auto it = tags_.find(tag);
+    return it == tags_.end() ? 0 : it->second;
+}
+
+void
+DeviceMemory::reset()
+{
+    tags_.clear();
+    used_ = 0;
+    peak_ = 0;
+}
+
+} // namespace sim
+} // namespace fastgl

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Device (GPU global) memory accounting.
+ *
+ * Tracks named allocations against the GpuSpec's capacity so the benchmarks
+ * can reproduce the paper's Table 1 ("remaining GPU memory") and Table 9
+ * (DGL vs FastGL memory usage), and so cache-based IO strategies (GNNLab /
+ * PaGraph baselines) can size their feature caches against what is left.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/gpu_spec.h"
+
+namespace fastgl {
+namespace sim {
+
+/** A ledger of named device allocations. */
+class DeviceMemory
+{
+  public:
+    explicit DeviceMemory(const GpuSpec &spec)
+        : capacity_(spec.global_bytes)
+    {}
+
+    /**
+     * Allocate @p bytes under @p tag (adds to any existing tag).
+     * @return false (and allocates nothing) if capacity would be exceeded.
+     */
+    bool allocate(const std::string &tag, uint64_t bytes);
+
+    /** Free the full allocation under @p tag (no-op when absent). */
+    void free_tag(const std::string &tag);
+
+    /** Shrink/grow tag to exactly @p bytes; false if it would overflow. */
+    bool resize(const std::string &tag, uint64_t bytes);
+
+    uint64_t used() const { return used_; }
+    uint64_t capacity() const { return capacity_; }
+    uint64_t remaining() const { return capacity_ - used_; }
+
+    /** Bytes currently held under @p tag. */
+    uint64_t tag_bytes(const std::string &tag) const;
+
+    /** Highest value used() has ever reached. */
+    uint64_t peak() const { return peak_; }
+
+    const std::map<std::string, uint64_t> &ledger() const { return tags_; }
+
+    void reset();
+
+  private:
+    uint64_t capacity_;
+    uint64_t used_ = 0;
+    uint64_t peak_ = 0;
+    std::map<std::string, uint64_t> tags_;
+};
+
+} // namespace sim
+} // namespace fastgl

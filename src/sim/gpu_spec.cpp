@@ -1,0 +1,47 @@
+#include "sim/gpu_spec.h"
+
+namespace fastgl {
+namespace sim {
+
+double
+GpuSpec::effective_bandwidth(double l1_hit, double l2_hit) const
+{
+    // Average access time across the hierarchy: a fraction l1_hit of bytes
+    // is served at l1_bw; of the remainder, l2_hit at l2_bw; the rest at
+    // global_bw. Bandwidth is the reciprocal of per-byte time.
+    const double miss1 = 1.0 - l1_hit;
+    const double per_byte = l1_hit / l1_bw + miss1 * l2_hit / l2_bw +
+                            miss1 * (1.0 - l2_hit) / global_bw;
+    return 1.0 / per_byte;
+}
+
+GpuSpec
+rtx3090()
+{
+    return GpuSpec{};
+}
+
+GpuSpec
+rtx3090_pcie3()
+{
+    GpuSpec spec;
+    spec.name = "RTX3090-PCIe3";
+    spec.pcie_bw = 16e9;
+    return spec;
+}
+
+GpuSpec
+grace_hopper_like()
+{
+    GpuSpec spec;
+    spec.name = "GraceHopper-like";
+    spec.pcie_bw = 900e9;       // NVLink-C2C.
+    spec.host_total_bw = 3600e9; // per-GPU C2C links, no shared root hub
+    spec.host_gather_bw = 350e9; // Grace LPDDR5X-class gather
+    spec.global_bw = 3350e9;    // HBM3-class.
+    spec.global_bytes = 96ull << 30;
+    return spec;
+}
+
+} // namespace sim
+} // namespace fastgl

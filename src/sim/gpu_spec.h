@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Device model parameters.
+ *
+ * GpuSpec captures the handful of hardware constants the paper's analysis
+ * (Sections 3.2, 4.2, Table 3) depends on. The default is the NVIDIA
+ * GeForce RTX 3090 used in the paper's evaluation. All FastGL timing is a
+ * deterministic function of measured algorithm counts and these constants;
+ * see DESIGN.md ("counts are measured, seconds are modelled").
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fastgl {
+namespace sim {
+
+/** Static description of one GPU (paper Table 3 for the 3090). */
+struct GpuSpec
+{
+    std::string name = "RTX3090";
+
+    // --- Compute ---
+    double peak_flops = 29.155e12;     ///< FP32 FMA peak (paper: 29155 GFLOP/s).
+    int num_sms = 82;                  ///< Streaming multiprocessors.
+    int max_threads_per_block = 1024;  ///< CUDA hardware limit.
+    int max_threads_per_sm = 1536;     ///< Ampere GA102.
+    double sm_clock_ghz = 1.695;
+
+    // --- Memory hierarchy (paper Table 3) ---
+    double global_bw = 938e9;          ///< Global memory bandwidth, B/s.
+    double l2_bw = 4e12;               ///< L2 bandwidth (3-5 TB/s; midpoint).
+    double l1_bw = 12e12;              ///< L1 / shared-memory bandwidth, B/s.
+    uint64_t global_bytes = 24ull << 30;   ///< 24 GB device memory.
+    uint64_t l2_bytes = 6ull << 20;        ///< 6 MB L2.
+    uint64_t l1_bytes_per_sm = 128ull << 10; ///< 128 KB unified L1/shared.
+    uint64_t shared_limit_per_block = 99ull << 10; ///< Max dynamic smem/block.
+    int l1_line_bytes = 128;           ///< Cache line size.
+    int l2_line_bytes = 128;
+
+    // --- Host link ---
+    double pcie_bw = 32e9;             ///< PCIe 4.0 x16 (paper: 32 GB/s).
+    double pcie_latency = 10e-6;       ///< Per-transfer launch latency, s.
+    /**
+     * Host-side gather bandwidth: the CPU must assemble the sampled
+     * feature rows into a contiguous pinned buffer before DMA (the
+     * paper's Section 7 stage (1), "organize the data on the CPU side").
+     */
+    double host_gather_bw = 12e9;
+    /**
+     * Aggregate host-side bandwidth (memory + root complex) available to
+     * all GPUs together; concurrent trainers contend for it, which is
+     * what limits DGL's multi-GPU scaling in the paper's Fig. 14a.
+     */
+    double host_total_bw = 90e9;
+
+    // --- Kernel overheads ---
+    double kernel_launch_latency = 5e-6;   ///< Per-kernel launch, s.
+    double atomic_op_latency = 20e-9;      ///< Global atomic round trip, s.
+    double sync_latency = 1.2e-6;          ///< Device-wide thread sync, s.
+    double thread_op_throughput = 20e12;   ///< Simple int ops/s across device.
+
+    /** Effective bandwidth given L1/L2 hit rates (hierarchical model). */
+    double effective_bandwidth(double l1_hit, double l2_hit) const;
+};
+
+/** The paper's evaluation GPU. */
+GpuSpec rtx3090();
+
+/** A PCIe-3.0-class GPU for sensitivity studies. */
+GpuSpec rtx3090_pcie3();
+
+/** Grace-Hopper-style future device (Section 7: 900 GB/s host link). */
+GpuSpec grace_hopper_like();
+
+} // namespace sim
+} // namespace fastgl

@@ -1,0 +1,5 @@
+#include "sim/pcie_link.h"
+
+// PcieLink is header-only today; this translation unit anchors the library
+// target and reserves a home for future link features (bidirectional
+// contention, chunked pipelining).

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Host-to-device link model.
+ *
+ * The memory-IO phase of sampling-based training moves sampled features and
+ * subgraph topology over PCIe; this model converts byte counts into
+ * transfer time (bandwidth + per-transfer latency) and keeps cumulative
+ * traffic statistics used by the Fig. 10 benchmarks.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "sim/gpu_spec.h"
+
+namespace fastgl {
+namespace sim {
+
+/** Models one direction of the host<->device link. */
+class PcieLink
+{
+  public:
+    explicit PcieLink(const GpuSpec &spec)
+        : bandwidth_(spec.pcie_bw), latency_(spec.pcie_latency)
+    {}
+
+    /**
+     * Account one transfer of @p bytes.
+     * @return the modelled transfer time in seconds.
+     */
+    double
+    transfer(uint64_t bytes)
+    {
+        ++transfers_;
+        total_bytes_ += bytes;
+        const double t =
+            latency_ + static_cast<double>(bytes) / bandwidth_;
+        total_time_ += t;
+        return t;
+    }
+
+    /** Time a transfer would take without recording it. */
+    double
+    estimate(uint64_t bytes) const
+    {
+        return latency_ + static_cast<double>(bytes) / bandwidth_;
+    }
+
+    uint64_t total_bytes() const { return total_bytes_; }
+    uint64_t transfers() const { return transfers_; }
+    double total_time() const { return total_time_; }
+
+    void
+    reset()
+    {
+        total_bytes_ = transfers_ = 0;
+        total_time_ = 0.0;
+    }
+
+  private:
+    double bandwidth_;
+    double latency_;
+    uint64_t total_bytes_ = 0;
+    uint64_t transfers_ = 0;
+    double total_time_ = 0.0;
+};
+
+} // namespace sim
+} // namespace fastgl

@@ -1,0 +1,35 @@
+#include "sim/roofline.h"
+
+#include <algorithm>
+
+namespace fastgl {
+namespace sim {
+
+double
+Roofline::attainable_gflops(double ai) const
+{
+    return std::min(spec_.peak_flops, ai * spec_.global_bw) / 1e9;
+}
+
+double
+Roofline::ridge_intensity() const
+{
+    return spec_.peak_flops / spec_.global_bw;
+}
+
+RooflinePoint
+Roofline::add(const std::string &label, const KernelCost &cost)
+{
+    RooflinePoint point;
+    point.label = label;
+    point.arithmetic_intensity =
+        cost.bytes > 0.0 ? cost.flops / cost.bytes : 0.0;
+    point.achieved_gflops = cost.gflops();
+    point.attainable_gflops =
+        attainable_gflops(point.arithmetic_intensity);
+    points_.push_back(point);
+    return point;
+}
+
+} // namespace sim
+} // namespace fastgl

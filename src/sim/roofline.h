@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Roofline analysis helper (paper Fig. 12).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/gpu_spec.h"
+#include "sim/kernel_model.h"
+
+namespace fastgl {
+namespace sim {
+
+/** One kernel's position on the roofline plot. */
+struct RooflinePoint
+{
+    std::string label;
+    double arithmetic_intensity = 0.0; ///< flop / DRAM byte.
+    double achieved_gflops = 0.0;      ///< From the modelled time.
+    double attainable_gflops = 0.0;    ///< min(peak, AI * BW).
+
+    /** Fraction of the roofline actually achieved. */
+    double
+    efficiency() const
+    {
+        return attainable_gflops > 0.0
+                   ? achieved_gflops / attainable_gflops
+                   : 0.0;
+    }
+};
+
+/** Builds roofline points for modelled kernels on a given GPU. */
+class Roofline
+{
+  public:
+    explicit Roofline(const GpuSpec &spec) : spec_(spec) {}
+
+    /** Attainable GFLOP/s at arithmetic intensity @p ai (flops/byte). */
+    double attainable_gflops(double ai) const;
+
+    /** The ridge point AI where the machine turns compute bound. */
+    double ridge_intensity() const;
+
+    /** Record a kernel cost under @p label. */
+    RooflinePoint add(const std::string &label, const KernelCost &cost);
+
+    const std::vector<RooflinePoint> &points() const { return points_; }
+
+  private:
+    GpuSpec spec_;
+    std::vector<RooflinePoint> points_;
+};
+
+} // namespace sim
+} // namespace fastgl

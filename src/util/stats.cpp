@@ -1,0 +1,74 @@
+#include "util/stats.h"
+
+#include <cstdio>
+
+namespace fastgl {
+namespace util {
+
+double
+SampleStat::percentile(double p)
+{
+    if (samples_.empty())
+        return 0.0;
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    p = std::clamp(p, 0.0, 100.0);
+    size_t rank = static_cast<size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+    if (rank == 0)
+        rank = 1;
+    return samples_[rank - 1];
+}
+
+namespace {
+
+std::string
+format_scaled(double value, const char *const *units, int unit_count,
+              double base)
+{
+    int unit = 0;
+    double v = value;
+    while (std::abs(v) >= base && unit < unit_count - 1) {
+        v /= base;
+        ++unit;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, units[unit]);
+    return buf;
+}
+
+} // namespace
+
+std::string
+human_count(double value)
+{
+    static const char *units[] = {"", "K", "M", "B", "T"};
+    return format_scaled(value, units, 5, 1000.0);
+}
+
+std::string
+human_bytes(double bytes)
+{
+    static const char *units[] = {"B", "KB", "MB", "GB", "TB"};
+    return format_scaled(bytes, units, 5, 1024.0);
+}
+
+std::string
+human_seconds(double seconds)
+{
+    char buf[64];
+    if (seconds < 1e-6)
+        std::snprintf(buf, sizeof(buf), "%.1f ns", seconds * 1e9);
+    else if (seconds < 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.2f us", seconds * 1e6);
+    else if (seconds < 1.0)
+        std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+    return buf;
+}
+
+} // namespace util
+} // namespace fastgl

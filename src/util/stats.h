@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used throughout the benchmarks.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fastgl {
+namespace util {
+
+/** Online mean/variance/min/max accumulator (Welford). */
+class RunningStat
+{
+  public:
+    /** Add one observation. */
+    void
+    add(double x)
+    {
+        ++count_;
+        double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+        sum_ += x;
+    }
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Sample variance (n-1 denominator). */
+    double
+    variance() const
+    {
+        return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+    /** Reset to the empty state. */
+    void
+    clear()
+    {
+        count_ = 0;
+        mean_ = m2_ = sum_ = 0.0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Stores all samples; supports exact percentiles. */
+class SampleStat
+{
+  public:
+    void
+    add(double x)
+    {
+        samples_.push_back(x);
+        sorted_ = false;
+    }
+
+    size_t count() const { return samples_.size(); }
+
+    double
+    mean() const
+    {
+        if (samples_.empty())
+            return 0.0;
+        double s = 0.0;
+        for (double x : samples_)
+            s += x;
+        return s / static_cast<double>(samples_.size());
+    }
+
+    /** Exact percentile via nearest-rank; @p p in [0,100]. */
+    double percentile(double p);
+
+    void clear() { samples_.clear(); sorted_ = false; }
+
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    std::vector<double> samples_;
+    bool sorted_ = false;
+};
+
+/** Pretty-print a quantity in engineering units, e.g. 1.23 M. */
+std::string human_count(double value);
+
+/** Pretty-print a byte count, e.g. 1.2 GB. */
+std::string human_bytes(double bytes);
+
+/** Pretty-print seconds with an adaptive unit (ns/us/ms/s). */
+std::string human_seconds(double seconds);
+
+} // namespace util
+} // namespace fastgl

@@ -1,0 +1,146 @@
+#include "util/table.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace fastgl {
+namespace util {
+
+void
+TextTable::set_header(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::add_row(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+TextTable::to_string() const
+{
+    size_t cols = header_.size();
+    for (const auto &row : rows_)
+        cols = std::max(cols, row.size());
+
+    std::vector<size_t> width(cols, 0);
+    auto account = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    };
+    account(header_);
+    for (const auto &row : rows_)
+        account(row);
+
+    auto emit_row = [&](std::ostringstream &out,
+                        const std::vector<std::string> &row) {
+        out << "|";
+        for (size_t c = 0; c < cols; ++c) {
+            std::string cell = c < row.size() ? row[c] : "";
+            out << ' ' << cell << std::string(width[c] - cell.size(), ' ')
+                << " |";
+        }
+        out << '\n';
+    };
+
+    std::ostringstream out;
+    if (!title_.empty())
+        out << "== " << title_ << " ==\n";
+    if (!header_.empty()) {
+        emit_row(out, header_);
+        out << "|";
+        for (size_t c = 0; c < cols; ++c)
+            out << std::string(width[c] + 2, '-') << "|";
+        out << '\n';
+    }
+    for (const auto &row : rows_)
+        emit_row(out, row);
+    return out.str();
+}
+
+namespace {
+
+/** Lowercase alphanumeric slug of a table title. */
+std::string
+slugify(const std::string &title)
+{
+    std::string slug;
+    bool dash = false;
+    for (char c : title) {
+        if (std::isalnum(static_cast<unsigned char>(c))) {
+            slug += char(std::tolower(static_cast<unsigned char>(c)));
+            dash = false;
+        } else if (!dash && !slug.empty()) {
+            slug += '-';
+            dash = true;
+        }
+    }
+    while (!slug.empty() && slug.back() == '-')
+        slug.pop_back();
+    return slug.empty() ? "table" : slug;
+}
+
+} // namespace
+
+void
+TextTable::print() const
+{
+    std::cout << to_string() << std::flush;
+    if (const char *dir = std::getenv("FASTGL_CSV_DIR")) {
+        const std::string path =
+            std::string(dir) + "/" + slugify(title_) + ".csv";
+        if (!write_csv(path)) {
+            std::cerr << "[fastgl:WARN ] could not export CSV to "
+                      << path << '\n';
+        }
+    }
+}
+
+bool
+TextTable::write_csv(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                out << ',';
+            bool quote = row[c].find_first_of(",\"\n") != std::string::npos;
+            if (quote) {
+                out << '"';
+                for (char ch : row[c]) {
+                    if (ch == '"')
+                        out << '"';
+                    out << ch;
+                }
+                out << '"';
+            } else {
+                out << row[c];
+            }
+        }
+        out << '\n';
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+    return static_cast<bool>(out);
+}
+
+} // namespace util
+} // namespace fastgl

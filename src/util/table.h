@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Text-table and CSV emitters used by the benchmark harness to print the
+ * same rows/series the paper's tables and figures report.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fastgl {
+namespace util {
+
+/** Column-aligned text table with an optional title, printed to stdout. */
+class TextTable
+{
+  public:
+    /** @param title Heading printed above the table (may be empty). */
+    explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void set_header(std::vector<std::string> header);
+
+    /** Append a data row; ragged rows are padded when rendered. */
+    void add_row(std::vector<std::string> row);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double value, int precision = 2);
+
+    /** Render to a string. */
+    std::string to_string() const;
+
+    /**
+     * Render to stdout. When the FASTGL_CSV_DIR environment variable is
+     * set, also export the table as CSV into that directory, named by a
+     * slug of the title — so every benchmark run can archive its rows
+     * without per-benchmark plumbing.
+     */
+    void print() const;
+
+    /** Write the same content as CSV to @p path. Returns false on IO error. */
+    bool write_csv(const std::string &path) const;
+
+    size_t row_count() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace util
+} // namespace fastgl

@@ -1,0 +1,81 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace fastgl {
+namespace util {
+
+ThreadPool::ThreadPool(size_t threads)
+{
+    if (threads == 0) {
+        threads = std::max(2u, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(threads);
+    for (size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> task)
+{
+    std::packaged_task<void()> packaged(std::move(task));
+    auto future = packaged.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push(std::move(packaged));
+    }
+    cv_.notify_one();
+    return future;
+}
+
+void
+ThreadPool::parallel_for(size_t count,
+                         const std::function<void(size_t, size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    size_t chunks = std::min(count, workers_.size());
+    size_t chunk_size = (count + chunks - 1) / chunks;
+    std::vector<std::future<void>> futures;
+    futures.reserve(chunks);
+    for (size_t c = 0; c < chunks; ++c) {
+        size_t begin = c * chunk_size;
+        size_t end = std::min(count, begin + chunk_size);
+        if (begin >= end)
+            break;
+        futures.push_back(submit([&fn, begin, end] { fn(begin, end); }));
+    }
+    for (auto &future : futures)
+        future.get();
+}
+
+void
+ThreadPool::worker_loop()
+{
+    for (;;) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+            if (stop_ && tasks_.empty())
+                return;
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+    }
+}
+
+} // namespace util
+} // namespace fastgl

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fixed-size thread pool used for genuinely concurrent execution of the
+ * Fused-Map hash insertions and the parallel samplers.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fastgl {
+namespace util {
+
+/** A simple work-queue thread pool. Tasks may not block on each other. */
+class ThreadPool
+{
+  public:
+    /** @param threads Worker count; 0 means hardware_concurrency(). */
+    explicit ThreadPool(size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task; returns a future for its completion. */
+    std::future<void> submit(std::function<void()> task);
+
+    /**
+     * Run @p fn(chunk_begin, chunk_end) over [0, count) split into
+     * roughly equal contiguous chunks, one per worker, and wait.
+     */
+    void parallel_for(size_t count,
+                      const std::function<void(size_t, size_t)> &fn);
+
+    size_t size() const { return workers_.size(); }
+
+  private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::packaged_task<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+} // namespace util
+} // namespace fastgl

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the compute-phase cost model: plan ordering (Memory-Aware <
+ * naive), GNNAdvisor's preprocessing tax, scaling behaviour.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compute/compute_cost.h"
+#include "graph/generators.h"
+#include "sample/neighbor_sampler.h"
+
+namespace fastgl {
+namespace {
+
+sample::SampledSubgraph
+sampled_subgraph(int hops = 3)
+{
+    graph::RmatParams params;
+    params.num_nodes = 20000;
+    params.num_edges = 160000;
+    params.seed = 12;
+    static graph::CsrGraph g = graph::generate_rmat(params);
+    std::vector<int> fanouts;
+    const int paper[] = {5, 10, 15};
+    for (int h = 0; h < hops; ++h)
+        fanouts.push_back(paper[h]);
+    sample::NeighborSamplerOptions opts;
+    opts.fanouts = fanouts;
+    opts.seed = 21;
+    sample::NeighborSampler sampler(g, opts);
+    std::vector<graph::NodeId> seeds;
+    for (int i = 0; i < 200; ++i)
+        seeds.push_back(graph::NodeId(i));
+    return sampler.sample(seeds);
+}
+
+compute::ModelConfig
+gcn_config(int layers = 3)
+{
+    compute::ModelConfig cfg;
+    cfg.type = compute::ModelType::kGcn;
+    cfg.in_dim = 256;
+    cfg.hidden_dim = 64;
+    cfg.num_classes = 47;
+    cfg.num_layers = layers;
+    return cfg;
+}
+
+TEST(ComputeCost, MemoryAwareBeatsNaive)
+{
+    const auto sg = sampled_subgraph();
+    const auto cfg = gcn_config();
+    compute::ComputeCostModel naive(sim::rtx3090(),
+                                    compute::ComputePlan::kNaive);
+    compute::ComputeCostModel aware(
+        sim::rtx3090(), compute::ComputePlan::kMemoryAware);
+    const double tn = naive.training_step(cfg, sg).total();
+    const double tm = aware.training_step(cfg, sg).total();
+    EXPECT_GT(tn, tm);
+    // Paper Fig. 11: speedup 1.1x to 6.7x.
+    EXPECT_GT(tn / tm, 1.1);
+    EXPECT_LT(tn / tm, 8.0);
+}
+
+TEST(ComputeCost, GnnAdvisorPaysPreprocessEveryIteration)
+{
+    const auto sg = sampled_subgraph();
+    const auto cfg = gcn_config();
+    compute::ComputeCostModel advisor(
+        sim::rtx3090(), compute::ComputePlan::kGnnAdvisor);
+    const auto cost = advisor.training_step(cfg, sg);
+    EXPECT_GT(cost.preprocess, 0.0);
+    // Paper Fig. 11: preprocessing occupies a large share (up to 75%)
+    // of GNNAdvisor's compute phase.
+    EXPECT_GT(cost.preprocess / cost.total(), 0.2);
+
+    compute::ComputeCostModel naive(sim::rtx3090(),
+                                    compute::ComputePlan::kNaive);
+    EXPECT_DOUBLE_EQ(naive.training_step(cfg, sg).preprocess, 0.0);
+}
+
+TEST(ComputeCost, GnnAdvisorNetSlowerThanNaiveWithPreprocess)
+{
+    // GNNAdvisor's kernels beat naive, but per-iteration preprocessing
+    // makes it a net loss in sampling-based training (paper Section 6.3).
+    const auto sg = sampled_subgraph();
+    const auto cfg = gcn_config();
+    compute::ComputeCostModel advisor(
+        sim::rtx3090(), compute::ComputePlan::kGnnAdvisor);
+    compute::ComputeCostModel naive(sim::rtx3090(),
+                                    compute::ComputePlan::kNaive);
+    const auto adv = advisor.training_step(cfg, sg);
+    const auto nai = naive.training_step(cfg, sg);
+    EXPECT_LT(adv.forward + adv.backward, nai.forward + nai.backward);
+    EXPECT_GT(adv.total(), nai.total());
+}
+
+TEST(ComputeCost, ScalesWithFeatureDim)
+{
+    const auto sg = sampled_subgraph();
+    auto small = gcn_config();
+    small.in_dim = 64;
+    auto large = gcn_config();
+    large.in_dim = 512;
+    compute::ComputeCostModel model(sim::rtx3090(),
+                                    compute::ComputePlan::kMemoryAware);
+    EXPECT_GT(model.training_step(large, sg).total(),
+              model.training_step(small, sg).total());
+}
+
+TEST(ComputeCost, BackwardComparableToForward)
+{
+    const auto sg = sampled_subgraph();
+    const auto cfg = gcn_config();
+    compute::ComputeCostModel model(sim::rtx3090(),
+                                    compute::ComputePlan::kNaive);
+    const auto cost = model.training_step(cfg, sg);
+    EXPECT_GT(cost.backward, 0.5 * cost.forward);
+    EXPECT_LT(cost.backward, 4.0 * cost.forward);
+}
+
+TEST(ComputeCost, AllThreeModelsProduceFiniteCosts)
+{
+    const auto sg = sampled_subgraph();
+    for (auto type : {compute::ModelType::kGcn, compute::ModelType::kGin,
+                      compute::ModelType::kGat}) {
+        auto cfg = gcn_config();
+        cfg.type = type;
+        compute::ComputeCostModel model(
+            sim::rtx3090(), compute::ComputePlan::kMemoryAware);
+        const auto cost = model.training_step(cfg, sg);
+        EXPECT_GT(cost.total(), 0.0) << compute::model_type_name(type);
+        EXPECT_TRUE(std::isfinite(cost.total()));
+    }
+}
+
+TEST(ComputeCost, GatCostsMoreThanGcn)
+{
+    // At equal aggregation width (64), attention adds the projection over
+    // all sources plus per-edge score work on top of GCN's pipeline.
+    const auto sg = sampled_subgraph();
+    auto gcn = gcn_config();
+    gcn.in_dim = 64;
+    auto gat = gcn_config();
+    gat.in_dim = 64;
+    gat.type = compute::ModelType::kGat;
+    compute::ComputeCostModel model(sim::rtx3090(),
+                                    compute::ComputePlan::kNaive);
+    EXPECT_GT(model.training_step(gat, sg).total(),
+              model.training_step(gcn, sg).total());
+}
+
+TEST(ComputeCost, RooflineAggregationExposesCounts)
+{
+    const auto sg = sampled_subgraph();
+    compute::ComputeCostModel model(sim::rtx3090(),
+                                    compute::ComputePlan::kNaive);
+    const auto cost =
+        model.aggregation_cost(sg.blocks.back(), 256);
+    EXPECT_GT(cost.flops, 0.0);
+    EXPECT_GT(cost.bytes, 0.0);
+    EXPECT_GT(cost.gflops(), 0.0);
+}
+
+TEST(ComputeCost, PlanNamesPrintable)
+{
+    EXPECT_STREQ(compute::compute_plan_name(compute::ComputePlan::kNaive),
+                 "naive");
+    EXPECT_STREQ(
+        compute::compute_plan_name(compute::ComputePlan::kMemoryAware),
+        "memory-aware");
+    EXPECT_STREQ(
+        compute::compute_plan_name(compute::ComputePlan::kGnnAdvisor),
+        "gnnadvisor");
+}
+
+} // namespace
+} // namespace fastgl

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the dataset registry: full-scale specs mirror the paper's
+ * Table 6 and replicas preserve the relevant shape properties.
+ */
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+
+namespace fastgl {
+namespace {
+
+TEST(Datasets, RegistryCoversAllFive)
+{
+    EXPECT_EQ(graph::all_datasets().size(), 5u);
+    EXPECT_EQ(graph::dataset_short_name(graph::DatasetId::kReddit), "RD");
+    EXPECT_EQ(graph::dataset_short_name(graph::DatasetId::kProducts), "PR");
+    EXPECT_EQ(graph::dataset_short_name(graph::DatasetId::kMag), "MAG");
+    EXPECT_EQ(graph::dataset_short_name(graph::DatasetId::kIgbLarge),
+              "IGB");
+    EXPECT_EQ(graph::dataset_short_name(graph::DatasetId::kPapers100M),
+              "PA");
+}
+
+TEST(Datasets, FullScaleSpecsMatchPaperTable6)
+{
+    const auto reddit = graph::full_scale_spec(graph::DatasetId::kReddit);
+    EXPECT_EQ(reddit.nodes, 232965);
+    EXPECT_EQ(reddit.feature_dim, 602);
+    EXPECT_EQ(reddit.num_classes, 41);
+
+    const auto papers =
+        graph::full_scale_spec(graph::DatasetId::kPapers100M);
+    EXPECT_GT(papers.nodes, 100000000);
+    EXPECT_EQ(papers.feature_dim, 128);
+    EXPECT_EQ(papers.num_classes, 172);
+    EXPECT_EQ(papers.batch_size, 8000);
+
+    const auto igb = graph::full_scale_spec(graph::DatasetId::kIgbLarge);
+    EXPECT_EQ(igb.feature_dim, 1024);
+    EXPECT_EQ(igb.num_classes, 19);
+}
+
+/** Replica loading, parameterized over all five datasets. */
+class ReplicaProperty
+    : public ::testing::TestWithParam<graph::DatasetId> {};
+
+TEST_P(ReplicaProperty, ReplicaIsValidAndScaled)
+{
+    graph::ReplicaOptions opts;
+    opts.size_factor = 0.1; // fast unit-test size
+    opts.materialize_features = false;
+    graph::Dataset ds = graph::load_replica(GetParam(), opts);
+
+    EXPECT_TRUE(ds.graph.validate().empty()) << ds.graph.validate();
+    EXPECT_GT(ds.graph.num_nodes(), 0);
+    EXPECT_GT(ds.graph.num_edges(), 0);
+    EXPECT_FALSE(ds.train_nodes.empty());
+    EXPECT_GT(ds.batch_size, 0);
+    EXPECT_GT(ds.scale, 0.0);
+    EXPECT_LT(ds.scale, 1.0);
+
+    // Feature dim and class count preserved from the full-scale spec.
+    const auto full = graph::full_scale_spec(GetParam());
+    EXPECT_EQ(ds.features.dim(), full.feature_dim);
+    EXPECT_EQ(ds.features.num_classes(), full.num_classes);
+
+    // Training nodes in range.
+    for (graph::NodeId u : ds.train_nodes) {
+        EXPECT_GE(u, 0);
+        EXPECT_LT(u, ds.graph.num_nodes());
+    }
+}
+
+TEST_P(ReplicaProperty, ReplicaIsDeterministic)
+{
+    graph::ReplicaOptions opts;
+    opts.size_factor = 0.05;
+    opts.materialize_features = false;
+    graph::Dataset a = graph::load_replica(GetParam(), opts);
+    graph::Dataset b = graph::load_replica(GetParam(), opts);
+    EXPECT_EQ(a.graph.indices(), b.graph.indices());
+    EXPECT_EQ(a.train_nodes, b.train_nodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, ReplicaProperty,
+    ::testing::ValuesIn(graph::all_datasets()),
+    [](const ::testing::TestParamInfo<graph::DatasetId> &info) {
+        return graph::dataset_short_name(info.param);
+    });
+
+TEST(Datasets, SizeFactorScalesNodeCount)
+{
+    graph::ReplicaOptions small, large;
+    small.size_factor = 0.05;
+    small.materialize_features = false;
+    large.size_factor = 0.2;
+    large.materialize_features = false;
+    graph::Dataset a =
+        graph::load_replica(graph::DatasetId::kProducts, small);
+    graph::Dataset b =
+        graph::load_replica(graph::DatasetId::kProducts, large);
+    EXPECT_GT(b.graph.num_nodes(), 2 * a.graph.num_nodes());
+}
+
+TEST(Datasets, RedditReplicaIsDensest)
+{
+    // The paper's Table 4 ordering depends on Reddit being far denser
+    // than MAG/Papers100M.
+    graph::ReplicaOptions opts;
+    opts.size_factor = 0.1;
+    opts.materialize_features = false;
+    graph::Dataset rd =
+        graph::load_replica(graph::DatasetId::kReddit, opts);
+    graph::Dataset mag = graph::load_replica(graph::DatasetId::kMag, opts);
+    EXPECT_GT(rd.graph.avg_degree(), mag.graph.avg_degree());
+}
+
+} // namespace
+} // namespace fastgl

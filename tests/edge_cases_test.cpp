@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Edge-case coverage across modules: degenerate graphs, boundary batch
+ * sizes, isolated nodes, single-class datasets — the inputs a downstream
+ * user will eventually feed the library.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pipeline.h"
+#include "core/trainer.h"
+#include "graph/generators.h"
+#include "match/match.h"
+#include "sample/neighbor_sampler.h"
+#include "sim/kernel_model.h"
+
+namespace fastgl {
+namespace {
+
+TEST(EdgeCases, SamplerHandlesIsolatedSeeds)
+{
+    // Node 2 has no in-neighbours: its subgraph is just its self loop.
+    graph::CsrGraph g({0, 1, 2, 2}, {1, 0});
+    sample::NeighborSamplerOptions opts;
+    opts.fanouts = {3, 3};
+    sample::NeighborSampler sampler(g, opts);
+    std::vector<graph::NodeId> seeds = {2};
+    const auto sg = sampler.sample(seeds);
+    EXPECT_EQ(sg.num_nodes(), 1);
+    for (const auto &blk : sg.blocks) {
+        ASSERT_EQ(blk.num_targets(), 1);
+        EXPECT_EQ(blk.num_edges(), 1); // the self edge
+        EXPECT_EQ(blk.sources[0], 0);
+    }
+}
+
+TEST(EdgeCases, SamplerHandlesDuplicateSeeds)
+{
+    graph::CsrGraph g = graph::generate_ring(100, 2, 1);
+    sample::NeighborSamplerOptions opts;
+    opts.fanouts = {2};
+    sample::NeighborSampler sampler(g, opts);
+    std::vector<graph::NodeId> seeds = {5, 5, 7};
+    const auto sg = sampler.sample(seeds);
+    // Duplicate seeds collapse to one local ID.
+    EXPECT_EQ(sg.num_seeds, 3);
+    EXPECT_LT(sg.blocks[0].num_targets(), 3);
+}
+
+TEST(EdgeCases, SingleNodeBatch)
+{
+    graph::CsrGraph g = graph::generate_ring(50, 2, 2);
+    sample::NeighborSamplerOptions opts;
+    sample::NeighborSampler sampler(g, opts);
+    std::vector<graph::NodeId> seeds = {25};
+    const auto sg = sampler.sample(seeds);
+    EXPECT_GE(sg.num_nodes(), 1);
+    EXPECT_EQ(sg.num_seeds, 1);
+}
+
+TEST(EdgeCases, BatchSizeLargerThanTrainSet)
+{
+    std::vector<graph::NodeId> nodes = {1, 2, 3};
+    sample::BatchSplitter splitter(nodes, 100, 1);
+    EXPECT_EQ(splitter.num_batches(), 1);
+    EXPECT_EQ(splitter.batch(0).size(), 3u);
+}
+
+TEST(EdgeCases, PipelineMaxBatchesBeyondEpochIsClamped)
+{
+    graph::ReplicaOptions ropts;
+    ropts.size_factor = 0.05;
+    ropts.materialize_features = false;
+    const graph::Dataset ds =
+        graph::load_replica(graph::DatasetId::kReddit, ropts);
+    core::PipelineOptions opts;
+    opts.fw = core::framework_preset(core::Framework::kDgl);
+    opts.max_batches = 1000000;
+    opts.num_gpus = 1;
+    core::Pipeline pipe(ds, opts);
+    const auto r = pipe.run_epoch();
+    const int64_t expected =
+        (int64_t(ds.train_nodes.size()) + ds.batch_size - 1) /
+        ds.batch_size;
+    EXPECT_EQ(r.batches, expected);
+}
+
+TEST(EdgeCases, PipelineMoreGpusThanBatches)
+{
+    graph::ReplicaOptions ropts;
+    ropts.size_factor = 0.05;
+    ropts.materialize_features = false;
+    const graph::Dataset ds =
+        graph::load_replica(graph::DatasetId::kReddit, ropts);
+    core::PipelineOptions opts;
+    opts.fw = core::framework_preset(core::Framework::kFastGL);
+    opts.max_batches = 2;
+    opts.num_gpus = 8;
+    core::Pipeline pipe(ds, opts);
+    const auto r = pipe.run_epoch();
+    EXPECT_EQ(r.batches, 2);
+    EXPECT_GT(r.epoch_seconds, 0.0);
+}
+
+TEST(EdgeCases, MatcherIdenticalConsecutiveBatches)
+{
+    match::Matcher matcher;
+    match::NodeSet set({1, 2, 3});
+    matcher.plan(set);
+    const auto plan = matcher.plan(set);
+    EXPECT_EQ(plan.load_count(), 0);
+    EXPECT_EQ(plan.overlap_nodes, 3);
+}
+
+TEST(EdgeCases, MatcherDisjointConsecutiveBatches)
+{
+    match::Matcher matcher;
+    matcher.plan(match::NodeSet({1, 2, 3}));
+    const auto plan = matcher.plan(match::NodeSet({4, 5}));
+    EXPECT_EQ(plan.load_count(), 2);
+    EXPECT_EQ(plan.overlap_nodes, 0);
+}
+
+TEST(EdgeCases, KernelModelZeroWorkloads)
+{
+    const sim::KernelModel model{sim::rtx3090()};
+    sim::AggregationWorkload w; // all zero
+    const auto naive = model.aggregation_naive(w, 0.05, 0.2);
+    EXPECT_GE(naive.seconds, 0.0);
+    EXPECT_TRUE(std::isfinite(naive.seconds));
+
+    sim::IdMapWorkload idmap; // all zero
+    EXPECT_GE(model.id_map_fused(idmap), 0.0);
+    EXPECT_GE(model.id_map_sync(idmap), model.id_map_fused(idmap));
+    EXPECT_DOUBLE_EQ(model.sample_cpu(0), 0.0);
+}
+
+TEST(EdgeCases, TrainerWithTwoClasses)
+{
+    graph::Dataset ds;
+    ds.id = graph::DatasetId::kReddit;
+    ds.name = "tiny-binary";
+    ds.graph = graph::generate_ring(200, 3, 4);
+    ds.features = graph::FeatureStore(200, 8, 2, 3);
+    ds.batch_size = 16;
+    ds.scale = 0.001;
+    for (graph::NodeId u = 0; u < 200; u += 2)
+        ds.train_nodes.push_back(u);
+
+    core::TrainerOptions opts;
+    opts.fanouts = {3};
+    opts.max_batches = 3;
+    core::Trainer trainer(ds, opts);
+    const auto stats = trainer.train_epoch();
+    EXPECT_GT(stats.mean_loss, 0.0);
+    EXPECT_LE(stats.mean_accuracy, 1.0);
+}
+
+TEST(EdgeCases, PhaseBreakdownAccumulates)
+{
+    core::PhaseBreakdown a, b;
+    a.sample = 1.0;
+    a.io = 2.0;
+    b.sample = 0.5;
+    b.compute = 3.0;
+    b.allreduce = 0.25;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.sample, 1.5);
+    EXPECT_DOUBLE_EQ(a.total(), 1.5 + 2.0 + 3.0 + 0.25);
+    EXPECT_DOUBLE_EQ(a.sample_total(), 1.5);
+}
+
+TEST(EdgeCases, EpochResultReuseFractionBounds)
+{
+    core::EpochResult r;
+    EXPECT_DOUBLE_EQ(r.reuse_fraction(), 0.0); // empty: no division
+    r.nodes_loaded = 30;
+    r.nodes_reused = 50;
+    r.cache_hits = 20;
+    EXPECT_DOUBLE_EQ(r.reuse_fraction(), 0.7);
+}
+
+} // namespace
+} // namespace fastgl

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Unit + property tests for fastgl::graph — CSR invariants, builder
+ * semantics, generator degree/shape properties, feature store.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/csr_graph.h"
+#include "graph/feature_store.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace fastgl {
+namespace {
+
+TEST(CsrGraph, EmptyGraph)
+{
+    graph::CsrGraph g;
+    EXPECT_EQ(g.num_nodes(), 0);
+    EXPECT_EQ(g.num_edges(), 0);
+    EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(CsrGraph, ManualConstruction)
+{
+    // 0 <- {1,2}, 1 <- {0}, 2 <- {}
+    graph::CsrGraph g({0, 2, 3, 3}, {1, 2, 0});
+    EXPECT_EQ(g.num_nodes(), 3);
+    EXPECT_EQ(g.num_edges(), 3);
+    EXPECT_EQ(g.degree(0), 2);
+    EXPECT_EQ(g.degree(1), 1);
+    EXPECT_EQ(g.degree(2), 0);
+    EXPECT_EQ(g.neighbors(0)[1], 2);
+    EXPECT_TRUE(g.validate().empty());
+    EXPECT_DOUBLE_EQ(g.avg_degree(), 1.0);
+    EXPECT_EQ(g.max_degree(), 2);
+}
+
+TEST(CsrGraph, ValidateCatchesBadIndices)
+{
+    graph::CsrGraph g({0, 1}, {0});
+    EXPECT_TRUE(g.validate().empty());
+    graph::CsrGraph bad({0, 1}, {5});
+    EXPECT_FALSE(bad.validate().empty());
+}
+
+TEST(GraphBuilder, BuildsSortedRows)
+{
+    graph::GraphBuilder builder(4);
+    builder.add_edge(3, 0);
+    builder.add_edge(1, 0);
+    builder.add_edge(2, 0);
+    graph::CsrGraph g = builder.build();
+    ASSERT_EQ(g.degree(0), 3);
+    EXPECT_EQ(g.neighbors(0)[0], 1);
+    EXPECT_EQ(g.neighbors(0)[1], 2);
+    EXPECT_EQ(g.neighbors(0)[2], 3);
+}
+
+TEST(GraphBuilder, DedupRemovesDuplicatesAndSelfLoops)
+{
+    graph::GraphBuilder builder(3);
+    builder.add_edge(1, 0);
+    builder.add_edge(1, 0);
+    builder.add_edge(0, 0); // self loop
+    builder.add_edge(2, 0);
+    graph::CsrGraph g = builder.build(true);
+    EXPECT_EQ(g.degree(0), 2);
+    EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(GraphBuilder, NoDedupKeepsEverything)
+{
+    graph::GraphBuilder builder(3);
+    builder.add_edge(1, 0);
+    builder.add_edge(1, 0);
+    graph::CsrGraph g = builder.build(false);
+    EXPECT_EQ(g.degree(0), 2);
+}
+
+TEST(GraphBuilder, UndirectedAddsBothDirections)
+{
+    graph::GraphBuilder builder(2);
+    builder.add_undirected_edge(0, 1);
+    graph::CsrGraph g = builder.build();
+    EXPECT_EQ(g.degree(0), 1);
+    EXPECT_EQ(g.degree(1), 1);
+}
+
+/** Generators, parameterized over sizes: CSR invariants must always hold. */
+class GeneratorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorProperty, RmatProducesValidGraph)
+{
+    graph::RmatParams params;
+    params.num_nodes = GetParam();
+    params.num_edges = GetParam() * 8;
+    params.seed = 99;
+    graph::CsrGraph g = graph::generate_rmat(params);
+    EXPECT_EQ(g.num_nodes(), params.num_nodes);
+    EXPECT_TRUE(g.validate().empty()) << g.validate();
+    EXPECT_GT(g.num_edges(), 0);
+}
+
+TEST_P(GeneratorProperty, PowerLawProducesValidConnectedish)
+{
+    graph::PowerLawParams params;
+    params.num_nodes = GetParam();
+    params.avg_degree = 8.0;
+    params.seed = 7;
+    graph::CsrGraph g = graph::generate_power_law(params);
+    EXPECT_TRUE(g.validate().empty()) << g.validate();
+    // The ring backbone guarantees no isolated node.
+    for (graph::NodeId u = 0; u < g.num_nodes(); ++u)
+        EXPECT_GT(g.degree(u), 0) << "node " << u << " isolated";
+}
+
+TEST_P(GeneratorProperty, RingHasMinimumDegree)
+{
+    graph::CsrGraph g = graph::generate_ring(GetParam(), 2, 3);
+    EXPECT_TRUE(g.validate().empty());
+    for (graph::NodeId u = 0; u < g.num_nodes(); ++u)
+        EXPECT_GE(g.degree(u), 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GeneratorProperty,
+                         ::testing::Values(64, 257, 1024, 5000));
+
+TEST(Generators, RmatIsDeterministic)
+{
+    graph::RmatParams params;
+    params.num_nodes = 512;
+    params.num_edges = 4096;
+    params.seed = 5;
+    graph::CsrGraph a = graph::generate_rmat(params);
+    graph::CsrGraph b = graph::generate_rmat(params);
+    EXPECT_EQ(a.indices(), b.indices());
+    EXPECT_EQ(a.indptr(), b.indptr());
+}
+
+TEST(Generators, RmatIsSkewed)
+{
+    // R-MAT with a > 0.5 must produce a heavier max degree than a uniform
+    // random graph of the same size.
+    graph::RmatParams params;
+    params.num_nodes = 4096;
+    params.num_edges = 32768;
+    params.a = 0.65;
+    params.b = params.c = (1.0 - 0.65) / 3.0;
+    graph::CsrGraph g = graph::generate_rmat(params);
+    EXPECT_GT(double(g.max_degree()), 4.0 * g.avg_degree());
+}
+
+TEST(Generators, PowerLawHitsTargetAverageDegree)
+{
+    graph::PowerLawParams params;
+    params.num_nodes = 8192;
+    params.avg_degree = 12.0;
+    graph::CsrGraph g = graph::generate_power_law(params);
+    // Dedup and the ring backbone shift the average a little.
+    EXPECT_GT(g.avg_degree(), 6.0);
+    EXPECT_LT(g.avg_degree(), 20.0);
+}
+
+TEST(FeatureStore, MaterializedRoundTrip)
+{
+    graph::FeatureStore store(100, 16, 5, 42);
+    EXPECT_EQ(store.num_nodes(), 100);
+    EXPECT_EQ(store.dim(), 16);
+    EXPECT_EQ(store.row_bytes(), 64u);
+    EXPECT_EQ(store.total_bytes(), 6400u);
+
+    std::vector<float> out(16);
+    store.gather_row(7, out.data());
+    auto direct = store.row(7);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_FLOAT_EQ(out[i], direct[i]);
+}
+
+TEST(FeatureStore, LabelsInRange)
+{
+    graph::FeatureStore store(1000, 4, 7, 42);
+    for (graph::NodeId u = 0; u < 1000; ++u) {
+        EXPECT_GE(store.label(u), 0);
+        EXPECT_LT(store.label(u), 7);
+    }
+}
+
+TEST(FeatureStore, VirtualStoreIsDeterministic)
+{
+    graph::FeatureStore store(1000, 32, 7, 42, /*materialize=*/false);
+    EXPECT_FALSE(store.materialized());
+    std::vector<float> a(32), b(32);
+    store.gather_row(123, a.data());
+    store.gather_row(123, b.data());
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(store.label(123), store.label(123));
+
+    std::vector<float> c(32);
+    store.gather_row(124, c.data());
+    EXPECT_NE(a, c);
+}
+
+TEST(FeatureStore, FeatureValuesBounded)
+{
+    // Rows are class centroid (in [-0.5, 0.5]) plus modest noise.
+    graph::FeatureStore store(50, 8, 3, 1);
+    for (graph::NodeId u = 0; u < 50; ++u) {
+        for (float x : store.row(u)) {
+            EXPECT_GE(x, -4.0f);
+            EXPECT_LE(x, 4.0f);
+        }
+    }
+}
+
+TEST(FeatureStore, FeaturesCarryLabelSignal)
+{
+    // Same-class rows must be closer (on average) than cross-class rows:
+    // the property that makes training curves meaningful.
+    graph::FeatureStore store(300, 16, 4, 9);
+    auto dist2 = [&](graph::NodeId a, graph::NodeId b) {
+        double acc = 0.0;
+        auto ra = store.row(a), rb = store.row(b);
+        for (int i = 0; i < 16; ++i)
+            acc += double(ra[i] - rb[i]) * double(ra[i] - rb[i]);
+        return acc;
+    };
+    double same = 0.0, cross = 0.0;
+    int64_t same_n = 0, cross_n = 0;
+    for (graph::NodeId a = 0; a < 80; ++a) {
+        for (graph::NodeId b = a + 1; b < 80; ++b) {
+            if (store.label(a) == store.label(b)) {
+                same += dist2(a, b);
+                ++same_n;
+            } else {
+                cross += dist2(a, b);
+                ++cross_n;
+            }
+        }
+    }
+    ASSERT_GT(same_n, 0);
+    ASSERT_GT(cross_n, 0);
+    EXPECT_LT(same / double(same_n), cross / double(cross_n));
+}
+
+} // namespace
+} // namespace fastgl

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Cross-module integration tests: the full stack run end-to-end on a
+ * replica, asserting the paper's headline orderings hold on the composed
+ * system (not just in isolated unit models).
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/pipeline.h"
+#include "core/trainer.h"
+#include "graph/datasets.h"
+#include "match/match_degree.h"
+#include "sample/neighbor_sampler.h"
+
+namespace fastgl {
+namespace {
+
+const graph::Dataset &
+replica(graph::DatasetId id)
+{
+    static std::map<graph::DatasetId, graph::Dataset> cache;
+    auto it = cache.find(id);
+    if (it == cache.end()) {
+        graph::ReplicaOptions opts;
+        opts.size_factor = 0.12;
+        opts.materialize_features = false;
+        it = cache.emplace(id, graph::load_replica(id, opts)).first;
+    }
+    return it->second;
+}
+
+double
+epoch_time(graph::DatasetId id, core::Framework fw, int gpus = 2,
+           int64_t batches = 6)
+{
+    core::PipelineOptions opts;
+    opts.fw = core::framework_preset(fw);
+    opts.num_gpus = gpus;
+    opts.max_batches = batches;
+    opts.seed = 7;
+    core::Pipeline pipe(replica(id), opts);
+    return pipe.run_epoch().epoch_seconds;
+}
+
+TEST(Integration, HeadlineSpeedupOrderingOnProducts)
+{
+    // Paper Fig. 9: FastGL < GNNLab < DGL < PyG epoch time.
+    const auto id = graph::DatasetId::kProducts;
+    const double pyg = epoch_time(id, core::Framework::kPyG);
+    const double dgl = epoch_time(id, core::Framework::kDgl);
+    const double lab = epoch_time(id, core::Framework::kGnnLab);
+    const double fast = epoch_time(id, core::Framework::kFastGL);
+    EXPECT_LT(fast, lab);
+    EXPECT_LT(lab, dgl);
+    EXPECT_LT(dgl, pyg);
+    // PyG is "more than an order of magnitude slower" than FastGL.
+    EXPECT_GT(pyg / fast, 5.0);
+}
+
+TEST(Integration, FastGlWinsOnEveryDataset)
+{
+    for (graph::DatasetId id : graph::all_datasets()) {
+        const double dgl = epoch_time(id, core::Framework::kDgl, 2, 4);
+        const double fast =
+            epoch_time(id, core::Framework::kFastGL, 2, 4);
+        EXPECT_LT(fast, dgl) << graph::dataset_name(id);
+    }
+}
+
+TEST(Integration, GnnAdvisorLosesToDglInSampledTraining)
+{
+    // Paper Section 6.3: per-iteration preprocessing makes GNNAdvisor a
+    // net loss for sampling-based training.
+    const auto id = graph::DatasetId::kProducts;
+    const double dgl = epoch_time(id, core::Framework::kDgl);
+    const double advisor = epoch_time(id, core::Framework::kGnnAdvisor);
+    EXPECT_GT(advisor, dgl);
+}
+
+TEST(Integration, MatchDegreeOrderingAcrossDatasets)
+{
+    // Paper Table 4: Reddit has by far the highest match degree; MAG and
+    // Papers100M the lowest.
+    auto avg_match = [](graph::DatasetId id) {
+        const graph::Dataset &ds = replica(id);
+        sample::NeighborSamplerOptions sopts;
+        sopts.seed = 13;
+        sample::NeighborSampler sampler(ds.graph, sopts);
+        sample::BatchSplitter splitter(ds.train_nodes, ds.batch_size,
+                                       5);
+        splitter.shuffle_epoch();
+        std::vector<match::NodeSet> sets;
+        const int64_t n = std::min<int64_t>(5, splitter.num_batches());
+        for (int64_t b = 0; b < n; ++b)
+            sets.emplace_back(sampler.sample(splitter.batch(b)).nodes);
+        return match::match_degree_stats(sets).average;
+    };
+    const double reddit = avg_match(graph::DatasetId::kReddit);
+    const double mag = avg_match(graph::DatasetId::kMag);
+    EXPECT_GT(reddit, 0.5);
+    EXPECT_GT(reddit, mag);
+}
+
+TEST(Integration, ReorderWindowImprovesReuse)
+{
+    // Fig. 10b: Match+Reorder reuses at least as much as Match alone.
+    auto run = [](core::IoStrategy io) {
+        core::PipelineOptions opts;
+        opts.fw = core::framework_preset(core::Framework::kFastGL);
+        opts.fw.io = io;
+        opts.fw.cache_on_top_of_match = false;
+        opts.num_gpus = 1;
+        opts.max_batches = 12;
+        opts.reorder_window = 6;
+        opts.seed = 21;
+        core::Pipeline pipe(replica(graph::DatasetId::kProducts), opts);
+        return pipe.run_epoch();
+    };
+    const auto match_only = run(core::IoStrategy::kMatch);
+    const auto reordered = run(core::IoStrategy::kMatchReorder);
+    EXPECT_LE(reordered.nodes_loaded, match_only.nodes_loaded);
+}
+
+TEST(Integration, AblationStackEachStepHelps)
+{
+    // Paper Fig. 15: DGL -> +MR -> +MR+MA -> FastGL monotone speedup.
+    const auto &ds = replica(graph::DatasetId::kProducts);
+    auto run = [&](core::FrameworkConfig fw) {
+        core::PipelineOptions opts;
+        opts.fw = std::move(fw);
+        opts.num_gpus = 2;
+        opts.max_batches = 6;
+        opts.seed = 3;
+        return core::Pipeline(ds, opts).run_epoch().epoch_seconds;
+    };
+
+    auto dgl = core::framework_preset(core::Framework::kDgl);
+    auto mr = dgl;
+    mr.io = core::IoStrategy::kMatchReorder;
+    auto mr_ma = mr;
+    mr_ma.compute_plan = compute::ComputePlan::kMemoryAware;
+    auto full = core::framework_preset(core::Framework::kFastGL);
+    full.cache_on_top_of_match = false;
+
+    const double t0 = run(dgl);
+    const double t1 = run(mr);
+    const double t2 = run(mr_ma);
+    const double t3 = run(full);
+    EXPECT_LT(t1, t0);
+    EXPECT_LT(t2, t1);
+    EXPECT_LT(t3, t2);
+}
+
+TEST(Integration, BatchSizeScalingFavoursFastGl)
+{
+    // Fig. 14b: larger batches -> more overlap -> bigger FastGL gain.
+    auto speedup = [&](int64_t batch) {
+        core::PipelineOptions opts;
+        opts.fw = core::framework_preset(core::Framework::kDgl);
+        opts.batch_size = batch;
+        opts.max_batches = 6;
+        opts.num_gpus = 2;
+        opts.seed = 9;
+        core::Pipeline dgl(replica(graph::DatasetId::kProducts), opts);
+        opts.fw = core::framework_preset(core::Framework::kFastGL);
+        core::Pipeline fast(replica(graph::DatasetId::kProducts), opts);
+        return dgl.run_epoch().epoch_seconds /
+               fast.run_epoch().epoch_seconds;
+    };
+    EXPECT_GT(speedup(240), 1.0);
+}
+
+TEST(Integration, TrainerAndPipelineShareSamplingStatistics)
+{
+    // The timing pipeline and the numeric trainer sample from the same
+    // distribution: unique-node counts must be in the same ballpark.
+    const auto &ds = replica(graph::DatasetId::kReddit);
+    core::PipelineOptions popts;
+    popts.fw = core::framework_preset(core::Framework::kDgl);
+    popts.max_batches = 3;
+    popts.num_gpus = 1;
+    popts.seed = 31;
+    core::Pipeline pipe(ds, popts);
+    const auto result = pipe.run_epoch();
+    const double avg_unique =
+        double(result.unique_nodes) / double(result.batches);
+    EXPECT_GT(avg_unique, 0.0);
+    EXPECT_LT(avg_unique, double(ds.graph.num_nodes()));
+}
+
+} // namespace
+} // namespace fastgl

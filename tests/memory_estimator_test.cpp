@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the full-scale memory estimator behind Tables 1 and 9.
+ */
+#include <gtest/gtest.h>
+
+#include "core/memory_estimator.h"
+#include "sim/gpu_spec.h"
+
+namespace fastgl {
+namespace {
+
+TEST(MemoryEstimator, FrontierGrowsAndSaturates)
+{
+    core::MemoryEstimatorOptions opts;
+    const auto spec = graph::full_scale_spec(graph::DatasetId::kReddit);
+    const auto uniques = core::expected_unique_frontier(spec, opts);
+    ASSERT_EQ(uniques.size(), 4u); // seeds + 3 hops
+    for (size_t i = 1; i < uniques.size(); ++i)
+        EXPECT_GE(uniques[i], uniques[i - 1]);
+    // Cannot exceed the reachable pool.
+    EXPECT_LE(uniques.back(),
+              opts.reachable_fraction * double(spec.nodes) + 1.0);
+}
+
+TEST(MemoryEstimator, SmallGraphsLeavePlentyOfMemory)
+{
+    // Paper Table 1: Reddit leaves 13 GB, Products 11 GB.
+    const uint64_t capacity = sim::rtx3090().global_bytes;
+    for (auto id :
+         {graph::DatasetId::kReddit, graph::DatasetId::kProducts}) {
+        const auto est = core::estimate_training_memory(id);
+        EXPECT_GT(est.remaining(capacity), 8ull << 30)
+            << graph::dataset_name(id);
+    }
+}
+
+TEST(MemoryEstimator, LargeGraphsAreMemoryStarved)
+{
+    // Paper Table 1: MAG leaves 520 MB, Papers100M 1 GB.
+    const uint64_t capacity = sim::rtx3090().global_bytes;
+    for (auto id :
+         {graph::DatasetId::kMag, graph::DatasetId::kPapers100M}) {
+        const auto est = core::estimate_training_memory(id);
+        EXPECT_LT(est.remaining(capacity), 4ull << 30)
+            << graph::dataset_name(id);
+    }
+}
+
+TEST(MemoryEstimator, OrderingMatchesPaperTable1)
+{
+    const uint64_t capacity = sim::rtx3090().global_bytes;
+    const auto rd = core::estimate_training_memory(
+        graph::DatasetId::kReddit);
+    const auto mag =
+        core::estimate_training_memory(graph::DatasetId::kMag);
+    EXPECT_GT(rd.remaining(capacity), mag.remaining(capacity));
+}
+
+TEST(MemoryEstimator, ComponentsArePositiveAndSum)
+{
+    const auto est =
+        core::estimate_training_memory(graph::DatasetId::kProducts);
+    EXPECT_GT(est.features, 0u);
+    EXPECT_GT(est.activations, 0u);
+    EXPECT_GT(est.topology, 0u);
+    EXPECT_GT(est.params, 0u);
+    EXPECT_EQ(est.total(), est.features + est.activations +
+                               est.topology + est.params +
+                               est.workspace);
+}
+
+TEST(MemoryEstimator, FastGlTopologyOnlyUsesLess)
+{
+    core::MemoryEstimatorOptions dgl;
+    core::MemoryEstimatorOptions fastgl;
+    fastgl.fastgl_topology_only = true;
+    const auto a = core::estimate_training_memory(
+        graph::DatasetId::kPapers100M, dgl);
+    const auto b = core::estimate_training_memory(
+        graph::DatasetId::kPapers100M, fastgl);
+    EXPECT_LT(b.topology, a.topology);
+    EXPECT_LE(b.total(), a.total());
+}
+
+TEST(MemoryEstimator, BiggerBatchUsesMoreMemory)
+{
+    core::MemoryEstimatorOptions small;
+    small.batch_size = 2000;
+    core::MemoryEstimatorOptions large;
+    large.batch_size = 12000;
+    EXPECT_LT(
+        core::estimate_training_memory(graph::DatasetId::kMag, small)
+            .total(),
+        core::estimate_training_memory(graph::DatasetId::kMag, large)
+            .total());
+}
+
+TEST(MemoryEstimator, RemainingClampsAtZero)
+{
+    core::MemoryEstimatorOptions opts;
+    opts.hidden_dim = 4096; // blow past 24 GB
+    const auto est = core::estimate_training_memory(
+        graph::DatasetId::kPapers100M, opts);
+    EXPECT_EQ(est.remaining(sim::rtx3090().global_bytes), 0u);
+}
+
+} // namespace
+} // namespace fastgl

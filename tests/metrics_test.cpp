@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the classification metrics (confusion matrix, F1).
+ */
+#include <gtest/gtest.h>
+
+#include "compute/metrics.h"
+
+namespace fastgl {
+namespace {
+
+using compute::ConfusionMatrix;
+using compute::Tensor;
+
+TEST(Metrics, PerfectPredictions)
+{
+    ConfusionMatrix cm(3);
+    for (int c = 0; c < 3; ++c)
+        for (int i = 0; i < 5; ++i)
+            cm.add(c, c);
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+    EXPECT_DOUBLE_EQ(cm.macro_f1(), 1.0);
+    EXPECT_DOUBLE_EQ(cm.micro_f1(), 1.0);
+    EXPECT_EQ(cm.total(), 15);
+}
+
+TEST(Metrics, KnownConfusion)
+{
+    // 2 classes: class 0 -> 3 right, 1 wrong; class 1 -> 2 right, 0 wrong.
+    ConfusionMatrix cm(2);
+    cm.add(0, 0);
+    cm.add(0, 0);
+    cm.add(0, 0);
+    cm.add(0, 1);
+    cm.add(1, 1);
+    cm.add(1, 1);
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 5.0 / 6.0);
+    EXPECT_DOUBLE_EQ(cm.recall(0), 0.75);
+    EXPECT_DOUBLE_EQ(cm.precision(0), 1.0);
+    EXPECT_DOUBLE_EQ(cm.recall(1), 1.0);
+    EXPECT_DOUBLE_EQ(cm.precision(1), 2.0 / 3.0);
+    // F1(0) = 2*1*.75/1.75, F1(1) = 2*(2/3)*1/(5/3)
+    EXPECT_NEAR(cm.f1(0), 2.0 * 0.75 / 1.75, 1e-12);
+    EXPECT_NEAR(cm.f1(1), 0.8, 1e-12);
+    EXPECT_NEAR(cm.macro_f1(), (2.0 * 0.75 / 1.75 + 0.8) / 2.0, 1e-12);
+}
+
+TEST(Metrics, AddBatchUsesArgmax)
+{
+    ConfusionMatrix cm(3);
+    Tensor logits(2, 3);
+    logits.at(0, 2) = 5.0f; // predict 2
+    logits.at(1, 0) = 1.0f; // predict 0
+    std::vector<int> labels = {2, 1};
+    cm.add_batch(logits, labels);
+    EXPECT_EQ(cm.at(2, 2), 1);
+    EXPECT_EQ(cm.at(1, 0), 1);
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 0.5);
+}
+
+TEST(Metrics, EmptyClassesContributeZeroF1)
+{
+    ConfusionMatrix cm(4);
+    cm.add(0, 0);
+    EXPECT_DOUBLE_EQ(cm.f1(3), 0.0);
+    EXPECT_DOUBLE_EQ(cm.macro_f1(), 0.25);
+}
+
+TEST(Metrics, ResetClears)
+{
+    ConfusionMatrix cm(2);
+    cm.add(0, 1);
+    cm.reset();
+    EXPECT_EQ(cm.total(), 0);
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+}
+
+TEST(Metrics, RejectsOutOfRange)
+{
+    ConfusionMatrix cm(2);
+    EXPECT_DEATH(cm.add(2, 0), "truth label out of range");
+    EXPECT_DEATH(cm.add(0, -1), "prediction out of range");
+}
+
+} // namespace
+} // namespace fastgl

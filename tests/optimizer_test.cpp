@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the SGD and Adam optimizers on analytic objectives.
+ */
+#include <gtest/gtest.h>
+
+#include "compute/optimizer.h"
+
+namespace fastgl {
+namespace {
+
+using compute::Parameter;
+using compute::Tensor;
+
+/** grad of f(x) = 0.5 * ||x - target||^2. */
+void
+quadratic_grad(Parameter &p, float target)
+{
+    for (int64_t i = 0; i < p.numel(); ++i)
+        p.grad.data()[i] = p.value.data()[i] - target;
+}
+
+TEST(Sgd, PlainStepMovesAgainstGradient)
+{
+    Parameter p(Tensor(1, 1));
+    p.value.at(0, 0) = 4.0f;
+    compute::Sgd sgd(0.5f);
+    quadratic_grad(p, 0.0f);
+    sgd.step({&p});
+    EXPECT_FLOAT_EQ(p.value.at(0, 0), 2.0f);
+}
+
+TEST(Sgd, ConvergesOnQuadratic)
+{
+    Parameter p(Tensor(2, 2));
+    p.value.fill(10.0f);
+    compute::Sgd sgd(0.2f);
+    for (int i = 0; i < 100; ++i) {
+        quadratic_grad(p, 3.0f);
+        sgd.step({&p});
+    }
+    for (int64_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(p.value.data()[i], 3.0f, 1e-4);
+}
+
+TEST(Sgd, MomentumAcceleratesDescent)
+{
+    auto run = [](float momentum) {
+        Parameter p(Tensor(1, 1));
+        p.value.at(0, 0) = 10.0f;
+        compute::Sgd sgd(0.01f, momentum);
+        for (int i = 0; i < 40; ++i) {
+            quadratic_grad(p, 0.0f);
+            sgd.step({&p});
+        }
+        return std::abs(p.value.at(0, 0));
+    };
+    EXPECT_LT(run(0.9f), run(0.0f));
+}
+
+TEST(Sgd, WeightDecayShrinksWeightsAtMinimum)
+{
+    Parameter p(Tensor(1, 1));
+    p.value.at(0, 0) = 1.0f;
+    compute::Sgd sgd(0.1f, 0.0f, 0.5f);
+    p.zero_grad(); // gradient zero: only decay acts
+    sgd.step({&p});
+    EXPECT_LT(p.value.at(0, 0), 1.0f);
+}
+
+TEST(Adam, ConvergesOnQuadratic)
+{
+    Parameter p(Tensor(3, 1));
+    p.value.fill(-5.0f);
+    compute::Adam adam(0.3f);
+    for (int i = 0; i < 300; ++i) {
+        quadratic_grad(p, 2.0f);
+        adam.step({&p});
+    }
+    for (int64_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(p.value.data()[i], 2.0f, 1e-2);
+}
+
+TEST(Adam, FirstStepIsBiasCorrectedLearningRate)
+{
+    // With bias correction, the first Adam step is ~lr * sign(grad).
+    Parameter p(Tensor(1, 1));
+    p.value.at(0, 0) = 1.0f;
+    p.grad.at(0, 0) = 1e-3f;
+    compute::Adam adam(0.1f);
+    adam.step({&p});
+    EXPECT_NEAR(p.value.at(0, 0), 0.9f, 1e-3);
+}
+
+TEST(Adam, HandlesMultipleParameters)
+{
+    Parameter a(Tensor(2, 2)), b(Tensor(1, 4));
+    a.value.fill(1.0f);
+    b.value.fill(-1.0f);
+    compute::Adam adam(0.05f);
+    for (int i = 0; i < 200; ++i) {
+        quadratic_grad(a, 0.0f);
+        quadratic_grad(b, 0.0f);
+        adam.step({&a, &b});
+    }
+    EXPECT_NEAR(a.value.at(0, 0), 0.0f, 1e-2);
+    EXPECT_NEAR(b.value.at(0, 3), 0.0f, 1e-2);
+}
+
+TEST(Parameter, ZeroGradClears)
+{
+    Parameter p(Tensor(2, 2));
+    p.grad.fill(3.0f);
+    p.zero_grad();
+    EXPECT_DOUBLE_EQ(p.grad.sum_squares(), 0.0);
+}
+
+} // namespace
+} // namespace fastgl

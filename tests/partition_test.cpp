@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the graph partitioners (ClusterGCN / multi-machine substrate).
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.h"
+#include "graph/partition.h"
+
+namespace fastgl {
+namespace {
+
+graph::CsrGraph
+test_graph(int nodes = 4000)
+{
+    graph::RmatParams params;
+    params.num_nodes = nodes;
+    params.num_edges = nodes * 8;
+    params.seed = 19;
+    return graph::generate_rmat(params);
+}
+
+void
+check_valid_partition(const graph::Partitioning &parts,
+                      const graph::CsrGraph &g, int k)
+{
+    ASSERT_EQ(parts.num_parts(), k);
+    ASSERT_EQ(parts.part_of.size(), size_t(g.num_nodes()));
+    // Every node assigned exactly once.
+    std::vector<bool> seen(size_t(g.num_nodes()), false);
+    for (int p = 0; p < k; ++p) {
+        for (graph::NodeId u : parts.members[size_t(p)]) {
+            ASSERT_GE(u, 0);
+            ASSERT_LT(u, g.num_nodes());
+            ASSERT_FALSE(seen[size_t(u)]) << "node " << u << " twice";
+            seen[size_t(u)] = true;
+            ASSERT_EQ(parts.part_of[size_t(u)], p);
+        }
+    }
+    for (bool b : seen)
+        ASSERT_TRUE(b);
+}
+
+class PartitionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionProperty, BfsCoversAllNodesOnce)
+{
+    graph::CsrGraph g = test_graph();
+    const auto parts = graph::partition_bfs(g, GetParam());
+    check_valid_partition(parts, g, GetParam());
+}
+
+TEST_P(PartitionProperty, LdgCoversAllNodesOnce)
+{
+    graph::CsrGraph g = test_graph();
+    const auto parts = graph::partition_ldg(g, GetParam());
+    check_valid_partition(parts, g, GetParam());
+}
+
+TEST_P(PartitionProperty, LdgIsReasonablyBalanced)
+{
+    graph::CsrGraph g = test_graph();
+    const auto parts = graph::partition_ldg(g, GetParam());
+    EXPECT_LT(parts.balance(g), 1.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, PartitionProperty,
+                         ::testing::Values(2, 4, 16, 32));
+
+TEST(Partition, SinglePartHasNoCut)
+{
+    graph::CsrGraph g = test_graph(500);
+    const auto parts = graph::partition_ldg(g, 1);
+    EXPECT_EQ(parts.count_cut_edges(g), 0);
+    EXPECT_NEAR(parts.balance(g), 1.0, 1e-9);
+}
+
+TEST(Partition, LdgCutBeatsRandomAssignment)
+{
+    // LDG must beat the expected random cut fraction (1 - 1/k).
+    graph::CsrGraph g = test_graph();
+    const int k = 8;
+    const auto parts = graph::partition_ldg(g, k);
+    const double cut_fraction =
+        double(parts.count_cut_edges(g)) / double(g.num_edges());
+    EXPECT_LT(cut_fraction, 1.0 - 1.0 / double(k));
+}
+
+TEST(Partition, CutEdgesSymmetricOnUndirectedGraph)
+{
+    graph::CsrGraph g = test_graph(1000);
+    const auto parts = graph::partition_bfs(g, 4);
+    // The generator mirrors every edge, so the cut count is even.
+    EXPECT_EQ(parts.count_cut_edges(g) % 2, 0);
+}
+
+TEST(Partition, Deterministic)
+{
+    graph::CsrGraph g = test_graph(2000);
+    const auto a = graph::partition_ldg(g, 8);
+    const auto b = graph::partition_ldg(g, 8);
+    EXPECT_EQ(a.part_of, b.part_of);
+}
+
+} // namespace
+} // namespace fastgl

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the dense tensor and kernels: GEMM variants against a naive
+ * reference, bias, activations forward/backward.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compute/ops.h"
+#include "compute/tensor.h"
+#include "util/rng.h"
+
+namespace fastgl {
+namespace {
+
+using compute::Tensor;
+
+Tensor
+random_tensor(int64_t r, int64_t c, uint64_t seed)
+{
+    util::Rng rng(seed);
+    return Tensor::randn(r, c, rng, 1.0f);
+}
+
+/** Reference GEMM with explicit transpose flags. */
+Tensor
+ref_gemm(const Tensor &a, const Tensor &b, bool ta, bool tb)
+{
+    const int64_t m = ta ? a.cols() : a.rows();
+    const int64_t k = ta ? a.rows() : a.cols();
+    const int64_t n = tb ? b.rows() : b.cols();
+    Tensor c(m, n);
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+            float acc = 0.0f;
+            for (int64_t p = 0; p < k; ++p) {
+                const float av = ta ? a.at(p, i) : a.at(i, p);
+                const float bv = tb ? b.at(j, p) : b.at(p, j);
+                acc += av * bv;
+            }
+            c.at(i, j) = acc;
+        }
+    }
+    return c;
+}
+
+void
+expect_close(const Tensor &x, const Tensor &y, float tol = 1e-4f)
+{
+    ASSERT_TRUE(x.same_shape(y));
+    for (int64_t i = 0; i < x.rows(); ++i) {
+        for (int64_t j = 0; j < x.cols(); ++j)
+            ASSERT_NEAR(x.at(i, j), y.at(i, j), tol)
+                << "at (" << i << "," << j << ")";
+    }
+}
+
+TEST(Tensor, ZeroConstruction)
+{
+    Tensor t(3, 4);
+    EXPECT_EQ(t.rows(), 3);
+    EXPECT_EQ(t.cols(), 4);
+    EXPECT_EQ(t.numel(), 12);
+    for (int64_t i = 0; i < 3; ++i)
+        for (int64_t j = 0; j < 4; ++j)
+            EXPECT_FLOAT_EQ(t.at(i, j), 0.0f);
+}
+
+TEST(Tensor, FillAndAddScaled)
+{
+    Tensor a(2, 2), b(2, 2);
+    a.fill(1.0f);
+    b.fill(2.0f);
+    a.add_scaled(b, 0.5f);
+    EXPECT_FLOAT_EQ(a.at(1, 1), 2.0f);
+    EXPECT_DOUBLE_EQ(a.sum_squares(), 16.0);
+}
+
+TEST(Tensor, RowSpanWritesThrough)
+{
+    Tensor t(2, 3);
+    t.row(1)[2] = 5.0f;
+    EXPECT_FLOAT_EQ(t.at(1, 2), 5.0f);
+}
+
+/** GEMM variants, parameterized over shapes. */
+struct GemmShape { int64_t m, k, n; };
+class GemmProperty : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmProperty, MatchesReference)
+{
+    const auto [m, k, n] = GetParam();
+    Tensor a = random_tensor(m, k, 1);
+    Tensor b = random_tensor(k, n, 2);
+    Tensor c(m, n);
+    compute::gemm(a, b, c);
+    expect_close(c, ref_gemm(a, b, false, false));
+}
+
+TEST_P(GemmProperty, TransposedAMatchesReference)
+{
+    const auto [m, k, n] = GetParam();
+    Tensor a = random_tensor(k, m, 3); // stored transposed
+    Tensor b = random_tensor(k, n, 4);
+    Tensor c(m, n);
+    compute::gemm_ta(a, b, c);
+    expect_close(c, ref_gemm(a, b, true, false));
+}
+
+TEST_P(GemmProperty, TransposedBMatchesReference)
+{
+    const auto [m, k, n] = GetParam();
+    Tensor a = random_tensor(m, k, 5);
+    Tensor b = random_tensor(n, k, 6); // stored transposed
+    Tensor c(m, n);
+    compute::gemm_tb(a, b, c);
+    expect_close(c, ref_gemm(a, b, false, true));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmProperty,
+    ::testing::Values(GemmShape{1, 1, 1}, GemmShape{3, 5, 2},
+                      GemmShape{16, 8, 16}, GemmShape{33, 7, 19}));
+
+TEST(Ops, AddBiasBroadcastsRow)
+{
+    Tensor x(2, 3);
+    Tensor bias(1, 3);
+    bias.at(0, 0) = 1;
+    bias.at(0, 2) = -2;
+    compute::add_bias(x, bias);
+    EXPECT_FLOAT_EQ(x.at(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(x.at(1, 2), -2.0f);
+    EXPECT_FLOAT_EQ(x.at(1, 1), 0.0f);
+}
+
+TEST(Ops, BiasBackwardIsColumnSum)
+{
+    Tensor grad(3, 2);
+    grad.fill(1.0f);
+    grad.at(0, 1) = 4.0f;
+    Tensor gb(1, 2);
+    compute::bias_backward(grad, gb);
+    EXPECT_FLOAT_EQ(gb.at(0, 0), 3.0f);
+    EXPECT_FLOAT_EQ(gb.at(0, 1), 6.0f);
+}
+
+TEST(Ops, ReluForwardBackward)
+{
+    Tensor x(1, 4);
+    x.at(0, 0) = -1;
+    x.at(0, 1) = 2;
+    x.at(0, 2) = 0;
+    x.at(0, 3) = -3;
+    Tensor activated = x;
+    compute::relu_forward(activated);
+    EXPECT_FLOAT_EQ(activated.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(activated.at(0, 1), 2.0f);
+
+    Tensor grad(1, 4);
+    grad.fill(1.0f);
+    compute::relu_backward(activated, grad);
+    EXPECT_FLOAT_EQ(grad.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(grad.at(0, 1), 1.0f);
+    EXPECT_FLOAT_EQ(grad.at(0, 2), 0.0f);
+}
+
+TEST(Ops, LeakyReluForwardBackward)
+{
+    Tensor pre(1, 2);
+    pre.at(0, 0) = -2.0f;
+    pre.at(0, 1) = 3.0f;
+    Tensor x = pre;
+    compute::leaky_relu_forward(x, 0.1f);
+    EXPECT_FLOAT_EQ(x.at(0, 0), -0.2f);
+    EXPECT_FLOAT_EQ(x.at(0, 1), 3.0f);
+
+    Tensor grad(1, 2);
+    grad.fill(1.0f);
+    compute::leaky_relu_backward(pre, 0.1f, grad);
+    EXPECT_FLOAT_EQ(grad.at(0, 0), 0.1f);
+    EXPECT_FLOAT_EQ(grad.at(0, 1), 1.0f);
+}
+
+TEST(Ops, EluForwardBackward)
+{
+    Tensor x(1, 2);
+    x.at(0, 0) = -1.0f;
+    x.at(0, 1) = 2.0f;
+    Tensor activated = x;
+    compute::elu_forward(activated);
+    EXPECT_NEAR(activated.at(0, 0), std::expm1(-1.0f), 1e-6);
+    EXPECT_FLOAT_EQ(activated.at(0, 1), 2.0f);
+
+    Tensor grad(1, 2);
+    grad.fill(1.0f);
+    compute::elu_backward(activated, grad);
+    // dELU = e^x = y + 1 on the negative branch.
+    EXPECT_NEAR(grad.at(0, 0), std::exp(-1.0f), 1e-6);
+    EXPECT_FLOAT_EQ(grad.at(0, 1), 1.0f);
+}
+
+} // namespace
+} // namespace fastgl
