@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_compute.dir/bench_fig11_compute.cpp.o"
+  "CMakeFiles/bench_fig11_compute.dir/bench_fig11_compute.cpp.o.d"
+  "bench_fig11_compute"
+  "bench_fig11_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

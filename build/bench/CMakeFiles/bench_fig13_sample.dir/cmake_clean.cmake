@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_sample.dir/bench_fig13_sample.cpp.o"
+  "CMakeFiles/bench_fig13_sample.dir/bench_fig13_sample.cpp.o.d"
+  "bench_fig13_sample"
+  "bench_fig13_sample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_sample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

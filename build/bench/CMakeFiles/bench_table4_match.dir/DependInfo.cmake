@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table4_match.cpp" "bench/CMakeFiles/bench_table4_match.dir/bench_table4_match.cpp.o" "gcc" "bench/CMakeFiles/bench_table4_match.dir/bench_table4_match.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fastgl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/fastgl_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/fastgl_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/sample/CMakeFiles/fastgl_sample.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fastgl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fastgl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fastgl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

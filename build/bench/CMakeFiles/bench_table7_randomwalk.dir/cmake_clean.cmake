@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_randomwalk.dir/bench_table7_randomwalk.cpp.o"
+  "CMakeFiles/bench_table7_randomwalk.dir/bench_table7_randomwalk.cpp.o.d"
+  "bench_table7_randomwalk"
+  "bench_table7_randomwalk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_randomwalk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_idmap.dir/bench_table8_idmap.cpp.o"
+  "CMakeFiles/bench_table8_idmap.dir/bench_table8_idmap.cpp.o.d"
+  "bench_table8_idmap"
+  "bench_table8_idmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_idmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

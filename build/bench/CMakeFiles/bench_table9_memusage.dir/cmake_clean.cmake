@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_memusage.dir/bench_table9_memusage.cpp.o"
+  "CMakeFiles/bench_table9_memusage.dir/bench_table9_memusage.cpp.o.d"
+  "bench_table9_memusage"
+  "bench_table9_memusage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_memusage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

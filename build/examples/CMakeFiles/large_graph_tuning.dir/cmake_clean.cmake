@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/large_graph_tuning.dir/large_graph_tuning.cpp.o"
+  "CMakeFiles/large_graph_tuning.dir/large_graph_tuning.cpp.o.d"
+  "large_graph_tuning"
+  "large_graph_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/large_graph_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinsage_recommendation.dir/pinsage_recommendation.cpp.o"
+  "CMakeFiles/pinsage_recommendation.dir/pinsage_recommendation.cpp.o.d"
+  "pinsage_recommendation"
+  "pinsage_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinsage_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_network_gcn.dir/social_network_gcn.cpp.o"
+  "CMakeFiles/social_network_gcn.dir/social_network_gcn.cpp.o.d"
+  "social_network_gcn"
+  "social_network_gcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_network_gcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

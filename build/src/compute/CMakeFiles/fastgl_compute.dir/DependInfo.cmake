@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compute/aggregate.cpp" "src/compute/CMakeFiles/fastgl_compute.dir/aggregate.cpp.o" "gcc" "src/compute/CMakeFiles/fastgl_compute.dir/aggregate.cpp.o.d"
+  "/root/repo/src/compute/cache_replay.cpp" "src/compute/CMakeFiles/fastgl_compute.dir/cache_replay.cpp.o" "gcc" "src/compute/CMakeFiles/fastgl_compute.dir/cache_replay.cpp.o.d"
+  "/root/repo/src/compute/compute_cost.cpp" "src/compute/CMakeFiles/fastgl_compute.dir/compute_cost.cpp.o" "gcc" "src/compute/CMakeFiles/fastgl_compute.dir/compute_cost.cpp.o.d"
+  "/root/repo/src/compute/gat_layer.cpp" "src/compute/CMakeFiles/fastgl_compute.dir/gat_layer.cpp.o" "gcc" "src/compute/CMakeFiles/fastgl_compute.dir/gat_layer.cpp.o.d"
+  "/root/repo/src/compute/gcn_layer.cpp" "src/compute/CMakeFiles/fastgl_compute.dir/gcn_layer.cpp.o" "gcc" "src/compute/CMakeFiles/fastgl_compute.dir/gcn_layer.cpp.o.d"
+  "/root/repo/src/compute/gin_layer.cpp" "src/compute/CMakeFiles/fastgl_compute.dir/gin_layer.cpp.o" "gcc" "src/compute/CMakeFiles/fastgl_compute.dir/gin_layer.cpp.o.d"
+  "/root/repo/src/compute/gnn_model.cpp" "src/compute/CMakeFiles/fastgl_compute.dir/gnn_model.cpp.o" "gcc" "src/compute/CMakeFiles/fastgl_compute.dir/gnn_model.cpp.o.d"
+  "/root/repo/src/compute/loss.cpp" "src/compute/CMakeFiles/fastgl_compute.dir/loss.cpp.o" "gcc" "src/compute/CMakeFiles/fastgl_compute.dir/loss.cpp.o.d"
+  "/root/repo/src/compute/memory_aware_exec.cpp" "src/compute/CMakeFiles/fastgl_compute.dir/memory_aware_exec.cpp.o" "gcc" "src/compute/CMakeFiles/fastgl_compute.dir/memory_aware_exec.cpp.o.d"
+  "/root/repo/src/compute/metrics.cpp" "src/compute/CMakeFiles/fastgl_compute.dir/metrics.cpp.o" "gcc" "src/compute/CMakeFiles/fastgl_compute.dir/metrics.cpp.o.d"
+  "/root/repo/src/compute/ops.cpp" "src/compute/CMakeFiles/fastgl_compute.dir/ops.cpp.o" "gcc" "src/compute/CMakeFiles/fastgl_compute.dir/ops.cpp.o.d"
+  "/root/repo/src/compute/optimizer.cpp" "src/compute/CMakeFiles/fastgl_compute.dir/optimizer.cpp.o" "gcc" "src/compute/CMakeFiles/fastgl_compute.dir/optimizer.cpp.o.d"
+  "/root/repo/src/compute/tensor.cpp" "src/compute/CMakeFiles/fastgl_compute.dir/tensor.cpp.o" "gcc" "src/compute/CMakeFiles/fastgl_compute.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sample/CMakeFiles/fastgl_sample.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fastgl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fastgl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fastgl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

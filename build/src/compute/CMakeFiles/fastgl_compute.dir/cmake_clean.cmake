@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastgl_compute.dir/aggregate.cpp.o"
+  "CMakeFiles/fastgl_compute.dir/aggregate.cpp.o.d"
+  "CMakeFiles/fastgl_compute.dir/cache_replay.cpp.o"
+  "CMakeFiles/fastgl_compute.dir/cache_replay.cpp.o.d"
+  "CMakeFiles/fastgl_compute.dir/compute_cost.cpp.o"
+  "CMakeFiles/fastgl_compute.dir/compute_cost.cpp.o.d"
+  "CMakeFiles/fastgl_compute.dir/gat_layer.cpp.o"
+  "CMakeFiles/fastgl_compute.dir/gat_layer.cpp.o.d"
+  "CMakeFiles/fastgl_compute.dir/gcn_layer.cpp.o"
+  "CMakeFiles/fastgl_compute.dir/gcn_layer.cpp.o.d"
+  "CMakeFiles/fastgl_compute.dir/gin_layer.cpp.o"
+  "CMakeFiles/fastgl_compute.dir/gin_layer.cpp.o.d"
+  "CMakeFiles/fastgl_compute.dir/gnn_model.cpp.o"
+  "CMakeFiles/fastgl_compute.dir/gnn_model.cpp.o.d"
+  "CMakeFiles/fastgl_compute.dir/loss.cpp.o"
+  "CMakeFiles/fastgl_compute.dir/loss.cpp.o.d"
+  "CMakeFiles/fastgl_compute.dir/memory_aware_exec.cpp.o"
+  "CMakeFiles/fastgl_compute.dir/memory_aware_exec.cpp.o.d"
+  "CMakeFiles/fastgl_compute.dir/metrics.cpp.o"
+  "CMakeFiles/fastgl_compute.dir/metrics.cpp.o.d"
+  "CMakeFiles/fastgl_compute.dir/ops.cpp.o"
+  "CMakeFiles/fastgl_compute.dir/ops.cpp.o.d"
+  "CMakeFiles/fastgl_compute.dir/optimizer.cpp.o"
+  "CMakeFiles/fastgl_compute.dir/optimizer.cpp.o.d"
+  "CMakeFiles/fastgl_compute.dir/tensor.cpp.o"
+  "CMakeFiles/fastgl_compute.dir/tensor.cpp.o.d"
+  "libfastgl_compute.a"
+  "libfastgl_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastgl_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastgl_core.dir/framework_config.cpp.o"
+  "CMakeFiles/fastgl_core.dir/framework_config.cpp.o.d"
+  "CMakeFiles/fastgl_core.dir/memory_estimator.cpp.o"
+  "CMakeFiles/fastgl_core.dir/memory_estimator.cpp.o.d"
+  "CMakeFiles/fastgl_core.dir/pipeline.cpp.o"
+  "CMakeFiles/fastgl_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/fastgl_core.dir/timeline.cpp.o"
+  "CMakeFiles/fastgl_core.dir/timeline.cpp.o.d"
+  "CMakeFiles/fastgl_core.dir/trainer.cpp.o"
+  "CMakeFiles/fastgl_core.dir/trainer.cpp.o.d"
+  "libfastgl_core.a"
+  "libfastgl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastgl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

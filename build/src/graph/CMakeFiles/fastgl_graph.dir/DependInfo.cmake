@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/algorithms.cpp" "src/graph/CMakeFiles/fastgl_graph.dir/algorithms.cpp.o" "gcc" "src/graph/CMakeFiles/fastgl_graph.dir/algorithms.cpp.o.d"
+  "/root/repo/src/graph/csr_graph.cpp" "src/graph/CMakeFiles/fastgl_graph.dir/csr_graph.cpp.o" "gcc" "src/graph/CMakeFiles/fastgl_graph.dir/csr_graph.cpp.o.d"
+  "/root/repo/src/graph/datasets.cpp" "src/graph/CMakeFiles/fastgl_graph.dir/datasets.cpp.o" "gcc" "src/graph/CMakeFiles/fastgl_graph.dir/datasets.cpp.o.d"
+  "/root/repo/src/graph/feature_store.cpp" "src/graph/CMakeFiles/fastgl_graph.dir/feature_store.cpp.o" "gcc" "src/graph/CMakeFiles/fastgl_graph.dir/feature_store.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/fastgl_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/fastgl_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/graph_builder.cpp" "src/graph/CMakeFiles/fastgl_graph.dir/graph_builder.cpp.o" "gcc" "src/graph/CMakeFiles/fastgl_graph.dir/graph_builder.cpp.o.d"
+  "/root/repo/src/graph/partition.cpp" "src/graph/CMakeFiles/fastgl_graph.dir/partition.cpp.o" "gcc" "src/graph/CMakeFiles/fastgl_graph.dir/partition.cpp.o.d"
+  "/root/repo/src/graph/serialize.cpp" "src/graph/CMakeFiles/fastgl_graph.dir/serialize.cpp.o" "gcc" "src/graph/CMakeFiles/fastgl_graph.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fastgl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

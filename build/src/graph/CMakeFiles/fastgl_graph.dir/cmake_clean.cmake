@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastgl_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/fastgl_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/fastgl_graph.dir/csr_graph.cpp.o"
+  "CMakeFiles/fastgl_graph.dir/csr_graph.cpp.o.d"
+  "CMakeFiles/fastgl_graph.dir/datasets.cpp.o"
+  "CMakeFiles/fastgl_graph.dir/datasets.cpp.o.d"
+  "CMakeFiles/fastgl_graph.dir/feature_store.cpp.o"
+  "CMakeFiles/fastgl_graph.dir/feature_store.cpp.o.d"
+  "CMakeFiles/fastgl_graph.dir/generators.cpp.o"
+  "CMakeFiles/fastgl_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/fastgl_graph.dir/graph_builder.cpp.o"
+  "CMakeFiles/fastgl_graph.dir/graph_builder.cpp.o.d"
+  "CMakeFiles/fastgl_graph.dir/partition.cpp.o"
+  "CMakeFiles/fastgl_graph.dir/partition.cpp.o.d"
+  "CMakeFiles/fastgl_graph.dir/serialize.cpp.o"
+  "CMakeFiles/fastgl_graph.dir/serialize.cpp.o.d"
+  "libfastgl_graph.a"
+  "libfastgl_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastgl_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

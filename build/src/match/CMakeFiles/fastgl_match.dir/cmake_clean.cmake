@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastgl_match.dir/feature_cache.cpp.o"
+  "CMakeFiles/fastgl_match.dir/feature_cache.cpp.o.d"
+  "CMakeFiles/fastgl_match.dir/match.cpp.o"
+  "CMakeFiles/fastgl_match.dir/match.cpp.o.d"
+  "CMakeFiles/fastgl_match.dir/match_degree.cpp.o"
+  "CMakeFiles/fastgl_match.dir/match_degree.cpp.o.d"
+  "CMakeFiles/fastgl_match.dir/reorder.cpp.o"
+  "CMakeFiles/fastgl_match.dir/reorder.cpp.o.d"
+  "libfastgl_match.a"
+  "libfastgl_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastgl_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

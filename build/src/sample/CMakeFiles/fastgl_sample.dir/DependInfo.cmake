@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sample/batch_splitter.cpp" "src/sample/CMakeFiles/fastgl_sample.dir/batch_splitter.cpp.o" "gcc" "src/sample/CMakeFiles/fastgl_sample.dir/batch_splitter.cpp.o.d"
+  "/root/repo/src/sample/cluster_sampler.cpp" "src/sample/CMakeFiles/fastgl_sample.dir/cluster_sampler.cpp.o" "gcc" "src/sample/CMakeFiles/fastgl_sample.dir/cluster_sampler.cpp.o.d"
+  "/root/repo/src/sample/fused_hash_table.cpp" "src/sample/CMakeFiles/fastgl_sample.dir/fused_hash_table.cpp.o" "gcc" "src/sample/CMakeFiles/fastgl_sample.dir/fused_hash_table.cpp.o.d"
+  "/root/repo/src/sample/layer_sampler.cpp" "src/sample/CMakeFiles/fastgl_sample.dir/layer_sampler.cpp.o" "gcc" "src/sample/CMakeFiles/fastgl_sample.dir/layer_sampler.cpp.o.d"
+  "/root/repo/src/sample/neighbor_sampler.cpp" "src/sample/CMakeFiles/fastgl_sample.dir/neighbor_sampler.cpp.o" "gcc" "src/sample/CMakeFiles/fastgl_sample.dir/neighbor_sampler.cpp.o.d"
+  "/root/repo/src/sample/random_walk_sampler.cpp" "src/sample/CMakeFiles/fastgl_sample.dir/random_walk_sampler.cpp.o" "gcc" "src/sample/CMakeFiles/fastgl_sample.dir/random_walk_sampler.cpp.o.d"
+  "/root/repo/src/sample/saint_sampler.cpp" "src/sample/CMakeFiles/fastgl_sample.dir/saint_sampler.cpp.o" "gcc" "src/sample/CMakeFiles/fastgl_sample.dir/saint_sampler.cpp.o.d"
+  "/root/repo/src/sample/subgraph_inducer.cpp" "src/sample/CMakeFiles/fastgl_sample.dir/subgraph_inducer.cpp.o" "gcc" "src/sample/CMakeFiles/fastgl_sample.dir/subgraph_inducer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/fastgl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fastgl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fastgl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastgl_sample.dir/batch_splitter.cpp.o"
+  "CMakeFiles/fastgl_sample.dir/batch_splitter.cpp.o.d"
+  "CMakeFiles/fastgl_sample.dir/cluster_sampler.cpp.o"
+  "CMakeFiles/fastgl_sample.dir/cluster_sampler.cpp.o.d"
+  "CMakeFiles/fastgl_sample.dir/fused_hash_table.cpp.o"
+  "CMakeFiles/fastgl_sample.dir/fused_hash_table.cpp.o.d"
+  "CMakeFiles/fastgl_sample.dir/layer_sampler.cpp.o"
+  "CMakeFiles/fastgl_sample.dir/layer_sampler.cpp.o.d"
+  "CMakeFiles/fastgl_sample.dir/neighbor_sampler.cpp.o"
+  "CMakeFiles/fastgl_sample.dir/neighbor_sampler.cpp.o.d"
+  "CMakeFiles/fastgl_sample.dir/random_walk_sampler.cpp.o"
+  "CMakeFiles/fastgl_sample.dir/random_walk_sampler.cpp.o.d"
+  "CMakeFiles/fastgl_sample.dir/saint_sampler.cpp.o"
+  "CMakeFiles/fastgl_sample.dir/saint_sampler.cpp.o.d"
+  "CMakeFiles/fastgl_sample.dir/subgraph_inducer.cpp.o"
+  "CMakeFiles/fastgl_sample.dir/subgraph_inducer.cpp.o.d"
+  "libfastgl_sample.a"
+  "libfastgl_sample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastgl_sample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

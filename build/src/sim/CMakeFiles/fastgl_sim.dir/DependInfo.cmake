@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache_model.cpp" "src/sim/CMakeFiles/fastgl_sim.dir/cache_model.cpp.o" "gcc" "src/sim/CMakeFiles/fastgl_sim.dir/cache_model.cpp.o.d"
+  "/root/repo/src/sim/device_memory.cpp" "src/sim/CMakeFiles/fastgl_sim.dir/device_memory.cpp.o" "gcc" "src/sim/CMakeFiles/fastgl_sim.dir/device_memory.cpp.o.d"
+  "/root/repo/src/sim/gpu_spec.cpp" "src/sim/CMakeFiles/fastgl_sim.dir/gpu_spec.cpp.o" "gcc" "src/sim/CMakeFiles/fastgl_sim.dir/gpu_spec.cpp.o.d"
+  "/root/repo/src/sim/kernel_model.cpp" "src/sim/CMakeFiles/fastgl_sim.dir/kernel_model.cpp.o" "gcc" "src/sim/CMakeFiles/fastgl_sim.dir/kernel_model.cpp.o.d"
+  "/root/repo/src/sim/pcie_link.cpp" "src/sim/CMakeFiles/fastgl_sim.dir/pcie_link.cpp.o" "gcc" "src/sim/CMakeFiles/fastgl_sim.dir/pcie_link.cpp.o.d"
+  "/root/repo/src/sim/roofline.cpp" "src/sim/CMakeFiles/fastgl_sim.dir/roofline.cpp.o" "gcc" "src/sim/CMakeFiles/fastgl_sim.dir/roofline.cpp.o.d"
+  "/root/repo/src/sim/task_schedule.cpp" "src/sim/CMakeFiles/fastgl_sim.dir/task_schedule.cpp.o" "gcc" "src/sim/CMakeFiles/fastgl_sim.dir/task_schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fastgl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastgl_sim.dir/cache_model.cpp.o"
+  "CMakeFiles/fastgl_sim.dir/cache_model.cpp.o.d"
+  "CMakeFiles/fastgl_sim.dir/device_memory.cpp.o"
+  "CMakeFiles/fastgl_sim.dir/device_memory.cpp.o.d"
+  "CMakeFiles/fastgl_sim.dir/gpu_spec.cpp.o"
+  "CMakeFiles/fastgl_sim.dir/gpu_spec.cpp.o.d"
+  "CMakeFiles/fastgl_sim.dir/kernel_model.cpp.o"
+  "CMakeFiles/fastgl_sim.dir/kernel_model.cpp.o.d"
+  "CMakeFiles/fastgl_sim.dir/pcie_link.cpp.o"
+  "CMakeFiles/fastgl_sim.dir/pcie_link.cpp.o.d"
+  "CMakeFiles/fastgl_sim.dir/roofline.cpp.o"
+  "CMakeFiles/fastgl_sim.dir/roofline.cpp.o.d"
+  "CMakeFiles/fastgl_sim.dir/task_schedule.cpp.o"
+  "CMakeFiles/fastgl_sim.dir/task_schedule.cpp.o.d"
+  "libfastgl_sim.a"
+  "libfastgl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastgl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

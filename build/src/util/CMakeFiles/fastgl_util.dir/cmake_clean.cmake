@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastgl_util.dir/logging.cpp.o"
+  "CMakeFiles/fastgl_util.dir/logging.cpp.o.d"
+  "CMakeFiles/fastgl_util.dir/stats.cpp.o"
+  "CMakeFiles/fastgl_util.dir/stats.cpp.o.d"
+  "CMakeFiles/fastgl_util.dir/table.cpp.o"
+  "CMakeFiles/fastgl_util.dir/table.cpp.o.d"
+  "CMakeFiles/fastgl_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/fastgl_util.dir/thread_pool.cpp.o.d"
+  "libfastgl_util.a"
+  "libfastgl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastgl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

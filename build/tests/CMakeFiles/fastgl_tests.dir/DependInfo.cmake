@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aggregate_test.cpp" "tests/CMakeFiles/fastgl_tests.dir/aggregate_test.cpp.o" "gcc" "tests/CMakeFiles/fastgl_tests.dir/aggregate_test.cpp.o.d"
+  "/root/repo/tests/algorithms_test.cpp" "tests/CMakeFiles/fastgl_tests.dir/algorithms_test.cpp.o" "gcc" "tests/CMakeFiles/fastgl_tests.dir/algorithms_test.cpp.o.d"
+  "/root/repo/tests/cache_replay_test.cpp" "tests/CMakeFiles/fastgl_tests.dir/cache_replay_test.cpp.o" "gcc" "tests/CMakeFiles/fastgl_tests.dir/cache_replay_test.cpp.o.d"
+  "/root/repo/tests/compute_cost_test.cpp" "tests/CMakeFiles/fastgl_tests.dir/compute_cost_test.cpp.o" "gcc" "tests/CMakeFiles/fastgl_tests.dir/compute_cost_test.cpp.o.d"
+  "/root/repo/tests/datasets_test.cpp" "tests/CMakeFiles/fastgl_tests.dir/datasets_test.cpp.o" "gcc" "tests/CMakeFiles/fastgl_tests.dir/datasets_test.cpp.o.d"
+  "/root/repo/tests/edge_cases_test.cpp" "tests/CMakeFiles/fastgl_tests.dir/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/fastgl_tests.dir/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/ext_samplers_test.cpp" "tests/CMakeFiles/fastgl_tests.dir/ext_samplers_test.cpp.o" "gcc" "tests/CMakeFiles/fastgl_tests.dir/ext_samplers_test.cpp.o.d"
+  "/root/repo/tests/failure_injection_test.cpp" "tests/CMakeFiles/fastgl_tests.dir/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/fastgl_tests.dir/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/fused_map_test.cpp" "tests/CMakeFiles/fastgl_tests.dir/fused_map_test.cpp.o" "gcc" "tests/CMakeFiles/fastgl_tests.dir/fused_map_test.cpp.o.d"
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/fastgl_tests.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/fastgl_tests.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/fastgl_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/fastgl_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/layers_test.cpp" "tests/CMakeFiles/fastgl_tests.dir/layers_test.cpp.o" "gcc" "tests/CMakeFiles/fastgl_tests.dir/layers_test.cpp.o.d"
+  "/root/repo/tests/match_test.cpp" "tests/CMakeFiles/fastgl_tests.dir/match_test.cpp.o" "gcc" "tests/CMakeFiles/fastgl_tests.dir/match_test.cpp.o.d"
+  "/root/repo/tests/memory_aware_exec_test.cpp" "tests/CMakeFiles/fastgl_tests.dir/memory_aware_exec_test.cpp.o" "gcc" "tests/CMakeFiles/fastgl_tests.dir/memory_aware_exec_test.cpp.o.d"
+  "/root/repo/tests/memory_estimator_test.cpp" "tests/CMakeFiles/fastgl_tests.dir/memory_estimator_test.cpp.o" "gcc" "tests/CMakeFiles/fastgl_tests.dir/memory_estimator_test.cpp.o.d"
+  "/root/repo/tests/metrics_test.cpp" "tests/CMakeFiles/fastgl_tests.dir/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/fastgl_tests.dir/metrics_test.cpp.o.d"
+  "/root/repo/tests/model_loss_test.cpp" "tests/CMakeFiles/fastgl_tests.dir/model_loss_test.cpp.o" "gcc" "tests/CMakeFiles/fastgl_tests.dir/model_loss_test.cpp.o.d"
+  "/root/repo/tests/optimizer_test.cpp" "tests/CMakeFiles/fastgl_tests.dir/optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/fastgl_tests.dir/optimizer_test.cpp.o.d"
+  "/root/repo/tests/partition_test.cpp" "tests/CMakeFiles/fastgl_tests.dir/partition_test.cpp.o" "gcc" "tests/CMakeFiles/fastgl_tests.dir/partition_test.cpp.o.d"
+  "/root/repo/tests/pipeline_test.cpp" "tests/CMakeFiles/fastgl_tests.dir/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/fastgl_tests.dir/pipeline_test.cpp.o.d"
+  "/root/repo/tests/sampler_test.cpp" "tests/CMakeFiles/fastgl_tests.dir/sampler_test.cpp.o" "gcc" "tests/CMakeFiles/fastgl_tests.dir/sampler_test.cpp.o.d"
+  "/root/repo/tests/serialize_test.cpp" "tests/CMakeFiles/fastgl_tests.dir/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/fastgl_tests.dir/serialize_test.cpp.o.d"
+  "/root/repo/tests/sim_cache_test.cpp" "tests/CMakeFiles/fastgl_tests.dir/sim_cache_test.cpp.o" "gcc" "tests/CMakeFiles/fastgl_tests.dir/sim_cache_test.cpp.o.d"
+  "/root/repo/tests/sim_model_test.cpp" "tests/CMakeFiles/fastgl_tests.dir/sim_model_test.cpp.o" "gcc" "tests/CMakeFiles/fastgl_tests.dir/sim_model_test.cpp.o.d"
+  "/root/repo/tests/tensor_ops_test.cpp" "tests/CMakeFiles/fastgl_tests.dir/tensor_ops_test.cpp.o" "gcc" "tests/CMakeFiles/fastgl_tests.dir/tensor_ops_test.cpp.o.d"
+  "/root/repo/tests/timeline_test.cpp" "tests/CMakeFiles/fastgl_tests.dir/timeline_test.cpp.o" "gcc" "tests/CMakeFiles/fastgl_tests.dir/timeline_test.cpp.o.d"
+  "/root/repo/tests/trainer_test.cpp" "tests/CMakeFiles/fastgl_tests.dir/trainer_test.cpp.o" "gcc" "tests/CMakeFiles/fastgl_tests.dir/trainer_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/fastgl_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/fastgl_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fastgl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/fastgl_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/fastgl_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/sample/CMakeFiles/fastgl_sample.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fastgl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fastgl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fastgl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastgl_cli.dir/fastgl_cli.cpp.o"
+  "CMakeFiles/fastgl_cli.dir/fastgl_cli.cpp.o.d"
+  "fastgl_cli"
+  "fastgl_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastgl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
