@@ -1,0 +1,321 @@
+#include "core/async_pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace fastgl {
+namespace core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+seconds_since(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+} // namespace
+
+AsyncPipeline::AsyncPipeline(const graph::Dataset &dataset,
+                             PipelineOptions opts,
+                             AsyncPipelineOptions async,
+                             sim::GpuSpec spec)
+    : pipeline_(dataset, std::move(opts), std::move(spec)),
+      async_(std::move(async))
+{
+    sampler_threads_ = std::max(1, async_.sampler_threads);
+    gather_threads_ =
+        async_.gather_threads > 0
+            ? async_.gather_threads
+            : std::min(pipeline_.total_trainers(), 4);
+    gather_threads_ = std::max(1, gather_threads_);
+    compute_threads_ = std::max(1, async_.compute_threads);
+}
+
+void
+AsyncPipeline::request_stop()
+{
+    stop_.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(queues_mu_);
+    if (close_queues_)
+        close_queues_();
+}
+
+EpochResult
+AsyncPipeline::run_epoch()
+{
+    stop_.store(false, std::memory_order_release);
+    stats_ = AsyncEpochStats{};
+    const Clock::time_point wall_start = Clock::now();
+
+    const Pipeline::EpochPlan plan = pipeline_.plan_epoch();
+    const int total = static_cast<int>(plan.per_gpu.size());
+    const int64_t epoch = pipeline_.epoch_;
+
+    // Flattened window list; producers claim entries via an atomic
+    // cursor, so work distribution over threads is dynamic while the
+    // windows' *contents* stay thread-independent (per-batch seeds).
+    struct WindowRef
+    {
+        int gpu = 0;
+        size_t index = 0; ///< Window sequence number within its GPU.
+        size_t begin = 0; ///< First batch position in per_gpu[gpu].
+        size_t end = 0;   ///< One past the last batch position.
+    };
+    std::vector<WindowRef> windows;
+    for (int g = 0; g < total; ++g) {
+        const size_t count = plan.per_gpu[static_cast<size_t>(g)].size();
+        size_t index = 0;
+        for (size_t w = 0; w < count;
+             w += static_cast<size_t>(plan.window), ++index) {
+            const size_t end =
+                std::min(count, w + static_cast<size_t>(plan.window));
+            windows.push_back({g, index, w, end});
+        }
+    }
+
+    struct WindowItem
+    {
+        WindowRef ref;
+        std::vector<sample::SampledSubgraph> subgraphs;
+    };
+    struct ComputeItem
+    {
+        int gpu = 0;
+        size_t position = 0; ///< Destination index in records[gpu].
+        int64_t batch_id = 0;
+        Pipeline::BatchRecord record;
+        sample::SampledSubgraph sg;
+    };
+
+    std::vector<std::vector<Pipeline::BatchRecord>> records(
+        static_cast<size_t>(total));
+    std::vector<std::vector<char>> filled(static_cast<size_t>(total));
+    for (int g = 0; g < total; ++g) {
+        const size_t count = plan.per_gpu[static_cast<size_t>(g)].size();
+        records[static_cast<size_t>(g)].assign(
+            count, Pipeline::BatchRecord{});
+        filled[static_cast<size_t>(g)].assign(count, 0);
+    }
+
+    util::BoundedQueue<WindowItem> batch_queue(async_.queue_depth);
+    util::BoundedQueue<ComputeItem> compute_queue(std::max<size_t>(
+        1, async_.queue_depth * static_cast<size_t>(plan.window)));
+    {
+        std::lock_guard<std::mutex> lock(queues_mu_);
+        close_queues_ = [&batch_queue, &compute_queue] {
+            batch_queue.close();
+            compute_queue.close();
+        };
+    }
+
+    std::mutex error_mu;
+    std::exception_ptr first_error;
+    auto fail = [&](std::exception_ptr error) {
+        {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (!first_error)
+                first_error = error;
+        }
+        batch_queue.fail(error);
+        compute_queue.fail(error);
+    };
+
+    // Per-GPU sequencer: gather consumers may receive windows out of
+    // order (any thread can pop any item), but the Match/Reorder chain
+    // is stateful per GPU, so windows are reordered back into sequence
+    // and processed under the GPU's lock — exactly the sequential
+    // pipeline's order, which is what keeps the modelled numbers
+    // bit-identical.
+    struct GpuState
+    {
+        std::mutex mu;
+        size_t next_window = 0;
+        std::map<size_t, WindowItem> pending;
+        match::Matcher matcher;
+    };
+    std::vector<GpuState> gpus(static_cast<size_t>(total));
+
+    std::atomic<size_t> window_cursor{0};
+    std::atomic<int64_t> windows_produced{0};
+    std::atomic<int64_t> batches_completed{0};
+    std::mutex busy_mu;
+
+    auto producer = [&] {
+        double busy = 0.0;
+        try {
+            Pipeline::ThreadSampler sampler(pipeline_);
+            for (;;) {
+                if (stop_.load(std::memory_order_acquire))
+                    break;
+                const size_t wi = window_cursor.fetch_add(
+                    1, std::memory_order_relaxed);
+                if (wi >= windows.size())
+                    break;
+                const WindowRef &ref = windows[wi];
+                const auto &batches =
+                    plan.per_gpu[static_cast<size_t>(ref.gpu)];
+                WindowItem item;
+                item.ref = ref;
+                item.subgraphs.reserve(ref.end - ref.begin);
+                const Clock::time_point t0 = Clock::now();
+                for (size_t i = ref.begin; i < ref.end; ++i) {
+                    if (async_.sample_hook)
+                        async_.sample_hook(batches[i]);
+                    item.subgraphs.push_back(
+                        sampler.sample(pipeline_, epoch, batches[i]));
+                }
+                busy += seconds_since(t0);
+                if (!batch_queue.push(std::move(item)))
+                    break; // closed (stop) or failed
+                windows_produced.fetch_add(1, std::memory_order_relaxed);
+            }
+        } catch (...) {
+            fail(std::current_exception());
+        }
+        std::lock_guard<std::mutex> lock(busy_mu);
+        stats_.sample_busy_seconds += busy;
+    };
+
+    auto gather = [&] {
+        double busy = 0.0;
+        try {
+            for (;;) {
+                std::optional<WindowItem> item = batch_queue.pop();
+                if (!item)
+                    break; // closed and drained
+                GpuState &state =
+                    gpus[static_cast<size_t>(item->ref.gpu)];
+                std::lock_guard<std::mutex> lock(state.mu);
+                state.pending.emplace(item->ref.index,
+                                      std::move(*item));
+                for (auto it = state.pending.find(state.next_window);
+                     it != state.pending.end();
+                     it = state.pending.find(state.next_window)) {
+                    WindowItem window = std::move(it->second);
+                    state.pending.erase(it);
+                    ++state.next_window;
+
+                    const Clock::time_point t0 = Clock::now();
+                    const std::vector<size_t> order =
+                        pipeline_.window_order(state.matcher,
+                                               window.subgraphs);
+                    bool queue_open = true;
+                    for (size_t k = 0; k < order.size(); ++k) {
+                        sample::SampledSubgraph &sg =
+                            window.subgraphs[order[k]];
+                        ComputeItem ci;
+                        ci.gpu = window.ref.gpu;
+                        ci.position = window.ref.begin + k;
+                        ci.batch_id =
+                            plan.per_gpu[static_cast<size_t>(
+                                window.ref.gpu)][ci.position];
+                        ci.record = pipeline_.plan_transfer(
+                            sg, state.matcher);
+                        ci.sg = std::move(sg);
+                        if (!compute_queue.push(std::move(ci))) {
+                            queue_open = false;
+                            break;
+                        }
+                    }
+                    busy += seconds_since(t0);
+                    if (async_.gather_hook)
+                        async_.gather_hook(window.ref.gpu);
+                    if (!queue_open)
+                        break;
+                }
+            }
+        } catch (...) {
+            fail(std::current_exception());
+        }
+        std::lock_guard<std::mutex> lock(busy_mu);
+        stats_.gather_busy_seconds += busy;
+    };
+
+    auto compute = [&] {
+        double busy = 0.0;
+        try {
+            for (;;) {
+                std::optional<ComputeItem> item = compute_queue.pop();
+                if (!item)
+                    break;
+                if (async_.compute_hook)
+                    async_.compute_hook(item->batch_id);
+                const Clock::time_point t0 = Clock::now();
+                item->record.compute = pipeline_.compute_time(item->sg);
+                records[static_cast<size_t>(item->gpu)][item->position] =
+                    item->record;
+                filled[static_cast<size_t>(item->gpu)][item->position] =
+                    1;
+                busy += seconds_since(t0);
+                batches_completed.fetch_add(1,
+                                            std::memory_order_relaxed);
+            }
+        } catch (...) {
+            fail(std::current_exception());
+        }
+        std::lock_guard<std::mutex> lock(busy_mu);
+        stats_.compute_busy_seconds += busy;
+    };
+
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(sampler_threads_));
+    for (int i = 0; i < sampler_threads_; ++i)
+        workers.emplace_back(producer);
+    std::vector<std::thread> gatherers;
+    for (int i = 0; i < gather_threads_; ++i)
+        gatherers.emplace_back(gather);
+    std::vector<std::thread> computers;
+    for (int i = 0; i < compute_threads_; ++i)
+        computers.emplace_back(compute);
+
+    for (auto &t : workers)
+        t.join();
+    batch_queue.close();
+    for (auto &t : gatherers)
+        t.join();
+    compute_queue.close();
+    for (auto &t : computers)
+        t.join();
+    {
+        std::lock_guard<std::mutex> lock(queues_mu_);
+        close_queues_ = nullptr;
+    }
+
+    stats_.wall_seconds = seconds_since(wall_start);
+    stats_.windows_produced = windows_produced.load();
+    stats_.batches_completed = batches_completed.load();
+    stats_.stopped_early = stop_.load(std::memory_order_acquire);
+    stats_.batch_queue = batch_queue.stats();
+    stats_.compute_queue = compute_queue.stats();
+
+    {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error)
+            std::rethrow_exception(first_error);
+    }
+
+    if (stats_.stopped_early) {
+        // Keep only each GPU's completed prefix so the partial result
+        // aggregates real records (positions are filled out of order by
+        // the compute drain).
+        for (int g = 0; g < total; ++g) {
+            size_t done = 0;
+            const auto &flags = filled[static_cast<size_t>(g)];
+            while (done < flags.size() && flags[done])
+                ++done;
+            records[static_cast<size_t>(g)].resize(done);
+        }
+    }
+    return pipeline_.finalize_epoch(records, plan.num_batches);
+}
+
+} // namespace core
+} // namespace fastgl

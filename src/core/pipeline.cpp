@@ -4,6 +4,7 @@
 
 #include "match/reorder.h"
 #include "util/logging.h"
+#include "util/rng.h"
 
 namespace fastgl {
 namespace core {
@@ -115,8 +116,7 @@ Pipeline::build_cache()
             double(spec_.global_bytes) * dataset_.scale;
         // Baseline residents: parameters (+grads, +Adam moments), double-
         // buffered batch features and activations, topology, workspace.
-        sample::SampledSubgraph probe =
-            sample_batch(splitter_.batch(0));
+        sample::SampledSubgraph probe = sample_batch(0, 0);
         const double features =
             double(probe.num_nodes()) * double(row_bytes);
         double activations = 0.0;
@@ -150,7 +150,9 @@ Pipeline::build_cache()
         const int64_t presample =
             std::min<int64_t>(4, splitter_.num_batches());
         for (int64_t b = 0; b < presample; ++b) {
-            sample::SampledSubgraph sg = sample_batch(splitter_.batch(b));
+            // Presampling uses epoch 0; training epochs start at 1, so
+            // the cache build never shares an RNG stream with them.
+            sample::SampledSubgraph sg = sample_batch(0, b);
             for (graph::NodeId u : sg.nodes)
                 ++freq[static_cast<size_t>(u)];
         }
@@ -159,16 +161,51 @@ Pipeline::build_cache()
     cache_.emplace(n, ranking, cache_rows_);
 }
 
-sample::SampledSubgraph
-Pipeline::sample_batch(std::span<const graph::NodeId> seeds)
+uint64_t
+Pipeline::batch_seed(int64_t epoch, int64_t index) const
 {
-    return opts_.use_random_walk ? walk_sampler_->sample(seeds)
-                                 : sampler_->sample(seeds);
+    return util::derive_seed(opts_.seed, static_cast<uint64_t>(epoch),
+                             static_cast<uint64_t>(index));
+}
+
+sample::SampledSubgraph
+Pipeline::sample_batch(int64_t epoch, int64_t index)
+{
+    const std::span<const graph::NodeId> seeds = splitter_.batch(index);
+    const uint64_t seed = batch_seed(epoch, index);
+    return opts_.use_random_walk ? walk_sampler_->sample(seeds, seed)
+                                 : sampler_->sample(seeds, seed);
+}
+
+Pipeline::ThreadSampler::ThreadSampler(const Pipeline &pipe)
+{
+    if (pipe.opts_.use_random_walk) {
+        sample::RandomWalkOptions wopts = pipe.opts_.walk;
+        wopts.seed = pipe.opts_.seed + 101;
+        walk = std::make_unique<sample::RandomWalkSampler>(
+            pipe.dataset_.graph, wopts);
+    } else {
+        sample::NeighborSamplerOptions nopts;
+        nopts.fanouts = pipe.opts_.fanouts;
+        nopts.seed = pipe.opts_.seed + 101;
+        khop = std::make_unique<sample::NeighborSampler>(
+            pipe.dataset_.graph, nopts);
+    }
+}
+
+sample::SampledSubgraph
+Pipeline::ThreadSampler::sample(const Pipeline &pipe, int64_t epoch,
+                                int64_t index)
+{
+    const std::span<const graph::NodeId> seeds =
+        pipe.splitter_.batch(index);
+    const uint64_t seed = pipe.batch_seed(epoch, index);
+    return khop ? khop->sample(seeds, seed) : walk->sample(seeds, seed);
 }
 
 Pipeline::BatchRecord
-Pipeline::process_batch(const sample::SampledSubgraph &sg,
-                        match::Matcher &matcher)
+Pipeline::plan_transfer(const sample::SampledSubgraph &sg,
+                        match::Matcher &matcher) const
 {
     BatchRecord rec;
     rec.instances = sg.instances;
@@ -248,40 +285,87 @@ Pipeline::process_batch(const sample::SampledSubgraph &sg,
                             double(sg.topology_bytes()) / spec_.pcie_bw;
     }
 
-    // --- Compute phase ---
-    rec.compute = cost_model_.training_step(opts_.model, sg).total();
     return rec;
+}
+
+double
+Pipeline::compute_time(const sample::SampledSubgraph &sg) const
+{
+    return cost_model_.training_step(opts_.model, sg).total();
+}
+
+Pipeline::BatchRecord
+Pipeline::process_batch(const sample::SampledSubgraph &sg,
+                        match::Matcher &matcher) const
+{
+    BatchRecord rec = plan_transfer(sg, matcher);
+    rec.compute = compute_time(sg);
+    return rec;
+}
+
+Pipeline::EpochPlan
+Pipeline::plan_epoch()
+{
+    splitter_.shuffle_epoch();
+    ++epoch_;
+
+    EpochPlan plan;
+    plan.num_batches = splitter_.num_batches();
+    if (opts_.max_batches > 0)
+        plan.num_batches = std::min(plan.num_batches, opts_.max_batches);
+    plan.window = std::max(1, opts_.reorder_window);
+
+    // Round-robin assignment of batches to trainer GPUs across every
+    // machine (Section 7.1 extension: machines add data parallelism).
+    const int total = total_trainers();
+    plan.per_gpu.assign(static_cast<size_t>(total), {});
+    for (int64_t b = 0; b < plan.num_batches; ++b)
+        plan.per_gpu[static_cast<size_t>(b % total)].push_back(b);
+    return plan;
+}
+
+std::vector<size_t>
+Pipeline::window_order(
+    const match::Matcher &matcher,
+    const std::vector<sample::SampledSubgraph> &subgraphs) const
+{
+    std::vector<size_t> order(subgraphs.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    const bool reorder = opts_.fw.io == IoStrategy::kMatchReorder &&
+                         opts_.reorder_window > 1;
+    if (reorder && subgraphs.size() > 1) {
+        std::vector<match::NodeSet> sets;
+        sets.reserve(subgraphs.size());
+        for (const auto &sg : subgraphs)
+            sets.emplace_back(sg.nodes);
+        // Chain on raw overlap counts (= the rows Match saves),
+        // anchored at the batch resident on the GPU from the
+        // previous window so the hand-over also reuses.
+        const match::NodeSet *anchor =
+            matcher.resident().size() > 0 ? &matcher.resident()
+                                          : nullptr;
+        match::ReorderResult rr =
+            match::greedy_reorder_max_overlap(anchor, sets);
+        for (size_t i = 0; i < order.size(); ++i)
+            order[i] = static_cast<size_t>(rr.order[i]);
+    }
+    return order;
 }
 
 EpochResult
 Pipeline::run_epoch()
 {
-    splitter_.shuffle_epoch();
-    ++epoch_;
-
-    int64_t num_batches = splitter_.num_batches();
-    if (opts_.max_batches > 0)
-        num_batches = std::min(num_batches, opts_.max_batches);
-
-    // Round-robin assignment of batches to trainer GPUs across every
-    // machine (Section 7.1 extension: machines add data parallelism).
-    const int total = total_trainers();
-    std::vector<std::vector<int64_t>> per_gpu(
-        static_cast<size_t>(total));
-    for (int64_t b = 0; b < num_batches; ++b)
-        per_gpu[static_cast<size_t>(b % total)].push_back(b);
-
-    const bool reorder =
-        opts_.fw.io == IoStrategy::kMatchReorder &&
-        opts_.reorder_window > 1;
-    const int64_t window = std::max(1, opts_.reorder_window);
+    const EpochPlan plan = plan_epoch();
+    const int total = static_cast<int>(plan.per_gpu.size());
+    const int64_t window = plan.window;
 
     std::vector<std::vector<BatchRecord>> records(
         static_cast<size_t>(total));
 
     for (int g = 0; g < total; ++g) {
         match::Matcher matcher;
-        const auto &batches = per_gpu[static_cast<size_t>(g)];
+        const auto &batches = plan.per_gpu[static_cast<size_t>(g)];
         for (size_t w = 0; w < batches.size();
              w += static_cast<size_t>(window)) {
             const size_t end = std::min(
@@ -291,38 +375,23 @@ Pipeline::run_epoch()
             // Sampler produces n mini-batches before Reorder runs).
             std::vector<sample::SampledSubgraph> subgraphs;
             subgraphs.reserve(end - w);
-            for (size_t i = w; i < end; ++i) {
-                subgraphs.push_back(
-                    sample_batch(splitter_.batch(batches[i])));
-            }
+            for (size_t i = w; i < end; ++i)
+                subgraphs.push_back(sample_batch(epoch_, batches[i]));
 
-            std::vector<size_t> order(subgraphs.size());
-            for (size_t i = 0; i < order.size(); ++i)
-                order[i] = i;
-            if (reorder && subgraphs.size() > 1) {
-                std::vector<match::NodeSet> sets;
-                sets.reserve(subgraphs.size());
-                for (const auto &sg : subgraphs)
-                    sets.emplace_back(sg.nodes);
-                // Chain on raw overlap counts (= the rows Match saves),
-                // anchored at the batch resident on the GPU from the
-                // previous window so the hand-over also reuses.
-                const match::NodeSet *anchor =
-                    matcher.resident().size() > 0 ? &matcher.resident()
-                                                  : nullptr;
-                match::ReorderResult rr =
-                    match::greedy_reorder_max_overlap(anchor, sets);
-                for (size_t i = 0; i < order.size(); ++i)
-                    order[i] = static_cast<size_t>(rr.order[i]);
-            }
-
-            for (size_t i : order) {
+            for (size_t i : window_order(matcher, subgraphs)) {
                 records[static_cast<size_t>(g)].push_back(
                     process_batch(subgraphs[i], matcher));
             }
         }
     }
+    return finalize_epoch(records, plan.num_batches);
+}
 
+EpochResult
+Pipeline::finalize_epoch(
+    const std::vector<std::vector<BatchRecord>> &records,
+    int64_t num_batches)
+{
     // Export trainer 0's per-batch stage times for the event-driven
     // timeline validation.
     last_stages_.clear();
@@ -333,6 +402,7 @@ Pipeline::run_epoch()
     }
 
     // Aggregate: work view (phase sums) + overlap-aware wall clock.
+    const int total = static_cast<int>(records.size());
     EpochResult result;
     result.batches = num_batches;
     size_t max_iters = 0;

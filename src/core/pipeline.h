@@ -30,6 +30,8 @@
 namespace fastgl {
 namespace core {
 
+class AsyncPipeline;
+
 /** Everything configurable about one pipeline run. */
 struct PipelineOptions
 {
@@ -110,6 +112,13 @@ class Pipeline
     }
 
   private:
+    /**
+     * The overlapped executor reuses the private per-batch machinery so
+     * its modelled numbers are produced by exactly the code path the
+     * sequential executor runs (the bit-identical guarantee).
+     */
+    friend class AsyncPipeline;
+
     struct BatchRecord
     {
         double sample = 0.0;
@@ -126,12 +135,72 @@ class Pipeline
         int64_t uniques = 0;
     };
 
-    /** Sample + time one batch; IO resolved against @p matcher/cache. */
-    BatchRecord process_batch(const sample::SampledSubgraph &sg,
-                              match::Matcher &matcher);
+    /** One epoch's work assignment, shared by both executors. */
+    struct EpochPlan
+    {
+        int64_t num_batches = 0;
+        /** Batches per Reorder window (>= 1). */
+        int64_t window = 1;
+        /** Round-robin batch indices per trainer GPU. */
+        std::vector<std::vector<int64_t>> per_gpu;
+    };
 
-    sample::SampledSubgraph sample_batch(
-        std::span<const graph::NodeId> seeds);
+    /**
+     * Per-thread sampler clone for concurrent producers. Instances are
+     * not shareable across threads, but any instance yields identical
+     * output for the same (epoch, index) because sampling draws from a
+     * per-batch derived RNG stream.
+     */
+    struct ThreadSampler
+    {
+        explicit ThreadSampler(const Pipeline &pipe);
+
+        /** Identical output to pipe.sample_batch(epoch, index). */
+        sample::SampledSubgraph sample(const Pipeline &pipe,
+                                       int64_t epoch, int64_t index);
+
+        std::unique_ptr<sample::NeighborSampler> khop;
+        std::unique_ptr<sample::RandomWalkSampler> walk;
+    };
+
+    /** Shuffle, advance the epoch counter, assign batches to GPUs. */
+    EpochPlan plan_epoch();
+
+    /** RNG stream seed of batch @p index in epoch @p epoch. */
+    uint64_t batch_seed(int64_t epoch, int64_t index) const;
+
+    /**
+     * Sample batch @p index of epoch @p epoch. Each batch draws from its
+     * own derived RNG stream (not shared-generator order), so the result
+     * is independent of sampling order and thread placement.
+     */
+    sample::SampledSubgraph sample_batch(int64_t epoch, int64_t index);
+
+    /** Reorder decision for one window against the resident batch. */
+    std::vector<size_t> window_order(
+        const match::Matcher &matcher,
+        const std::vector<sample::SampledSubgraph> &subgraphs) const;
+
+    /**
+     * Sample/id-map/io accounting for one batch — everything except the
+     * compute phase. Mutates only @p matcher (caller-owned, per GPU) and
+     * the cache's atomic statistics; safe to run concurrently across
+     * GPUs.
+     */
+    BatchRecord plan_transfer(const sample::SampledSubgraph &sg,
+                              match::Matcher &matcher) const;
+
+    /** Modelled compute seconds of one batch (pure). */
+    double compute_time(const sample::SampledSubgraph &sg) const;
+
+    /** plan_transfer + compute_time in one step (sequential path). */
+    BatchRecord process_batch(const sample::SampledSubgraph &sg,
+                              match::Matcher &matcher) const;
+
+    /** Aggregate per-GPU records into the epoch result (work + wall). */
+    EpochResult finalize_epoch(
+        const std::vector<std::vector<BatchRecord>> &records,
+        int64_t num_batches);
 
     void build_cache();
 

@@ -9,6 +9,7 @@
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -53,29 +54,41 @@ class StaticFeatureCache
 
     /**
      * Count hits/misses of a batch node list; accumulates statistics.
+     * Thread safe: the cache content is immutable after construction and
+     * the statistics are atomic, so concurrent gather stages may share
+     * one cache (the per-batch return value is unaffected by peers).
      * @return number of misses (rows that must cross PCIe).
      */
-    int64_t lookup_batch(std::span<const graph::NodeId> nodes);
+    int64_t lookup_batch(std::span<const graph::NodeId> nodes) const;
 
     int64_t capacity_rows() const { return capacity_rows_; }
-    int64_t hits() const { return hits_; }
-    int64_t misses() const { return misses_; }
+    int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+    int64_t
+    misses() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
 
     /** Hit fraction over all lookups so far. */
     double
     hit_rate() const
     {
-        const int64_t total = hits_ + misses_;
-        return total ? double(hits_) / double(total) : 0.0;
+        const int64_t total = hits() + misses();
+        return total ? double(hits()) / double(total) : 0.0;
     }
 
-    void reset_stats() { hits_ = misses_ = 0; }
+    void
+    reset_stats()
+    {
+        hits_.store(0, std::memory_order_relaxed);
+        misses_.store(0, std::memory_order_relaxed);
+    }
 
   private:
     std::vector<bool> cached_;
     int64_t capacity_rows_;
-    int64_t hits_ = 0;
-    int64_t misses_ = 0;
+    mutable std::atomic<int64_t> hits_{0};
+    mutable std::atomic<int64_t> misses_{0};
 };
 
 /** PaGraph-style ranking: nodes sorted by descending degree. */

@@ -18,6 +18,14 @@ NeighborSampler::NeighborSampler(const graph::CsrGraph &graph,
 }
 
 SampledSubgraph
+NeighborSampler::sample(std::span<const graph::NodeId> seeds,
+                        uint64_t rng_seed)
+{
+    rng_ = util::Rng(rng_seed);
+    return sample(seeds);
+}
+
+SampledSubgraph
 NeighborSampler::sample(std::span<const graph::NodeId> seeds)
 {
     FASTGL_CHECK(!seeds.empty(), "empty seed set");

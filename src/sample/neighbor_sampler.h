@@ -54,6 +54,19 @@ class NeighborSampler
      */
     SampledSubgraph sample(std::span<const graph::NodeId> seeds);
 
+    /**
+     * Sample with an explicit RNG stream: reseeds the internal generator
+     * with @p rng_seed before sampling, so the result is a pure function
+     * of (graph, options, seeds, rng_seed) — independent of call history
+     * and of which sampler instance runs it. This is the re-entrant entry
+     * point the overlapped pipeline uses: every producer thread owns its
+     * own NeighborSampler (instances are not shareable across threads)
+     * and derives rng_seed per batch, so batches can be sampled in any
+     * order on any thread and still come out bit-identical.
+     */
+    SampledSubgraph sample(std::span<const graph::NodeId> seeds,
+                           uint64_t rng_seed);
+
     const NeighborSamplerOptions &options() const { return opts_; }
 
     /** Number of hops (== fanouts.size()). */

@@ -19,6 +19,14 @@ RandomWalkSampler::RandomWalkSampler(const graph::CsrGraph &graph,
 }
 
 SampledSubgraph
+RandomWalkSampler::sample(std::span<const graph::NodeId> seeds,
+                          uint64_t rng_seed)
+{
+    rng_ = util::Rng(rng_seed);
+    return sample(seeds);
+}
+
+SampledSubgraph
 RandomWalkSampler::sample(std::span<const graph::NodeId> seeds)
 {
     FASTGL_CHECK(!seeds.empty(), "empty seed set");

@@ -42,6 +42,15 @@ class RandomWalkSampler
      */
     SampledSubgraph sample(std::span<const graph::NodeId> seeds);
 
+    /**
+     * Sample with an explicit RNG stream (see NeighborSampler::sample's
+     * seeded overload): the result depends only on (graph, options,
+     * seeds, rng_seed), making per-batch sampling order- and
+     * thread-count-independent.
+     */
+    SampledSubgraph sample(std::span<const graph::NodeId> seeds,
+                           uint64_t rng_seed);
+
     const RandomWalkOptions &options() const { return opts_; }
 
   private:

@@ -26,6 +26,25 @@ splitmix64(uint64_t &state)
     return z ^ (z >> 31);
 }
 
+/**
+ * Derive an independent stream seed from (base, stream, index).
+ *
+ * Used for per-batch RNG streams: sampling batch `index` of epoch
+ * `stream` under seed `base` yields the same subgraph no matter which
+ * thread (or how many threads) runs it, which is what lets the
+ * overlapped AsyncPipeline stay bit-identical to sequential execution.
+ */
+inline uint64_t
+derive_seed(uint64_t base, uint64_t stream, uint64_t index)
+{
+    uint64_t state = base;
+    uint64_t mixed = splitmix64(state);
+    state = mixed ^ (stream * 0xD1B54A32D192ED03ULL);
+    mixed = splitmix64(state);
+    state = mixed ^ (index * 0x9E3779B97F4A7C15ULL);
+    return splitmix64(state);
+}
+
 /** xoshiro256** pseudo random generator. */
 class Rng
 {

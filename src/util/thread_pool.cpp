@@ -26,17 +26,14 @@ ThreadPool::~ThreadPool()
         worker.join();
 }
 
-std::future<void>
-ThreadPool::submit(std::function<void()> task)
+void
+ThreadPool::enqueue(std::function<void()> task)
 {
-    std::packaged_task<void()> packaged(std::move(task));
-    auto future = packaged.get_future();
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        tasks_.push(std::move(packaged));
+        tasks_.push(std::move(task));
     }
     cv_.notify_one();
-    return future;
 }
 
 void
@@ -56,15 +53,26 @@ ThreadPool::parallel_for(size_t count,
             break;
         futures.push_back(submit([&fn, begin, end] { fn(begin, end); }));
     }
-    for (auto &future : futures)
-        future.get();
+    // Wait for every chunk before surfacing the first failure so no
+    // chunk is still touching caller state when we unwind.
+    std::exception_ptr first;
+    for (auto &future : futures) {
+        try {
+            future.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
 }
 
 void
 ThreadPool::worker_loop()
 {
     for (;;) {
-        std::packaged_task<void()> task;
+        std::function<void()> task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });

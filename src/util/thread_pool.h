@@ -1,7 +1,8 @@
 /**
  * @file
  * Fixed-size thread pool used for genuinely concurrent execution of the
- * Fused-Map hash insertions and the parallel samplers.
+ * Fused-Map hash insertions, the parallel samplers, and the stages of
+ * core::AsyncPipeline.
  */
 #pragma once
 
@@ -9,9 +10,12 @@
 #include <cstddef>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace fastgl {
@@ -28,24 +32,50 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
-    /** Enqueue a task; returns a future for its completion. */
-    std::future<void> submit(std::function<void()> task);
+    /**
+     * Enqueue any callable; returns a future for its result. A thrown
+     * exception is captured and rethrown from future::get(), never from
+     * the worker (the pool survives throwing tasks).
+     */
+    template <typename F>
+    auto
+    submit(F &&task) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        auto packaged = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(task));
+        std::future<R> future = packaged->get_future();
+        enqueue([packaged] { (*packaged)(); });
+        return future;
+    }
 
     /**
      * Run @p fn(chunk_begin, chunk_end) over [0, count) split into
-     * roughly equal contiguous chunks, one per worker, and wait.
+     * roughly equal contiguous chunks, one per worker, and wait. A
+     * count of 0 is a no-op; fewer items than workers produce fewer
+     * chunks. If a chunk throws, the first exception (in chunk order)
+     * is rethrown here after all chunks finished.
      */
     void parallel_for(size_t count,
                       const std::function<void(size_t, size_t)> &fn);
 
     size_t size() const { return workers_.size(); }
 
+    /** Tasks enqueued but not yet claimed by a worker. */
+    size_t
+    pending() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return tasks_.size();
+    }
+
   private:
+    void enqueue(std::function<void()> task);
     void worker_loop();
 
     std::vector<std::thread> workers_;
-    std::queue<std::packaged_task<void()>> tasks_;
-    std::mutex mutex_;
+    std::queue<std::function<void()>> tasks_;
+    mutable std::mutex mutex_;
     std::condition_variable cv_;
     bool stop_ = false;
 };

@@ -145,8 +145,9 @@ TEST(SamplerReplace, SampledDegreeEqualsFanout)
     const auto &blk = sg.blocks[0];
     for (int64_t t = 0; t < blk.num_targets(); ++t) {
         const graph::NodeId gu = sg.nodes[size_t(t)];
-        if (g.degree(gu) > 0)
+        if (g.degree(gu) > 0) {
             EXPECT_EQ(blk.indptr[t + 1] - blk.indptr[t], 4);
+        }
     }
 }
 

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Concurrency tests for util::BoundedQueue: FIFO order, backpressure
+ * under a slow consumer, close-and-drain semantics, exception
+ * propagation, and an MPMC stress run with exactly-once delivery.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/bounded_queue.h"
+
+namespace fastgl {
+namespace {
+
+TEST(BoundedQueue, SingleThreadFifo)
+{
+    util::BoundedQueue<int> q(4);
+    EXPECT_EQ(q.capacity(), 4u);
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+    EXPECT_TRUE(q.push(3));
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.pop().value(), 1);
+    EXPECT_EQ(q.pop().value(), 2);
+    EXPECT_TRUE(q.push(4));
+    EXPECT_EQ(q.pop().value(), 3);
+    EXPECT_EQ(q.pop().value(), 4);
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueue, TryOperationsNeverBlock)
+{
+    util::BoundedQueue<int> q(2);
+    EXPECT_TRUE(q.try_push(1));
+    EXPECT_TRUE(q.try_push(2));
+    EXPECT_FALSE(q.try_push(3)); // full
+    EXPECT_EQ(q.try_pop().value(), 1);
+    EXPECT_EQ(q.try_pop().value(), 2);
+    EXPECT_FALSE(q.try_pop().has_value()); // empty
+}
+
+TEST(BoundedQueue, CapacityClampedToOne)
+{
+    util::BoundedQueue<int> q(0);
+    EXPECT_EQ(q.capacity(), 1u);
+    EXPECT_TRUE(q.try_push(7));
+    EXPECT_FALSE(q.try_push(8));
+}
+
+TEST(BoundedQueue, PushBlocksUntilConsumerMakesRoom)
+{
+    util::BoundedQueue<int> q(1);
+    ASSERT_TRUE(q.push(1));
+
+    std::atomic<bool> second_pushed{false};
+    std::thread producer([&] {
+        ASSERT_TRUE(q.push(2)); // must block: queue is full
+        second_pushed.store(true);
+    });
+
+    // Give the producer a chance to block, then assert it really did.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(second_pushed.load());
+
+    EXPECT_EQ(q.pop().value(), 1);
+    EXPECT_EQ(q.pop().value(), 2);
+    producer.join();
+    EXPECT_TRUE(second_pushed.load());
+    EXPECT_GE(q.stats().push_blocked, 1u);
+    EXPECT_LE(q.stats().max_depth, q.capacity());
+}
+
+TEST(BoundedQueue, PopBlocksUntilProducerDelivers)
+{
+    util::BoundedQueue<int> q(2);
+    std::atomic<bool> popped{false};
+    std::thread consumer([&] {
+        EXPECT_EQ(q.pop().value(), 42);
+        popped.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(popped.load());
+    ASSERT_TRUE(q.push(42));
+    consumer.join();
+    EXPECT_TRUE(popped.load());
+    EXPECT_GE(q.stats().pop_blocked, 1u);
+}
+
+TEST(BoundedQueue, CloseAndDrainDeliversRemainingItems)
+{
+    util::BoundedQueue<int> q(8);
+    ASSERT_TRUE(q.push(1));
+    ASSERT_TRUE(q.push(2));
+    q.close();
+    EXPECT_TRUE(q.closed());
+    EXPECT_FALSE(q.push(3)); // refused after close
+    // ...but consumers still drain what was queued.
+    EXPECT_EQ(q.pop().value(), 1);
+    EXPECT_EQ(q.pop().value(), 2);
+    EXPECT_FALSE(q.pop().has_value()); // drained: nullopt, no block
+    EXPECT_FALSE(q.pop().has_value()); // idempotent
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumers)
+{
+    util::BoundedQueue<int> q(2);
+    std::thread consumer([&] { EXPECT_FALSE(q.pop().has_value()); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+    consumer.join(); // must not hang
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducers)
+{
+    util::BoundedQueue<int> q(1);
+    ASSERT_TRUE(q.push(1));
+    std::thread producer([&] { EXPECT_FALSE(q.push(2)); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+    producer.join(); // must not hang
+    EXPECT_EQ(q.pop().value(), 1);
+}
+
+TEST(BoundedQueue, FailPropagatesExceptionToConsumers)
+{
+    util::BoundedQueue<int> q(4);
+    ASSERT_TRUE(q.push(1)); // pending items are dropped by fail()
+    q.fail(std::make_exception_ptr(std::runtime_error("stage died")));
+    EXPECT_TRUE(q.failed());
+    EXPECT_FALSE(q.push(2));
+    EXPECT_THROW(q.pop(), std::runtime_error);
+    EXPECT_THROW(q.try_pop(), std::runtime_error);
+}
+
+TEST(BoundedQueue, FailWakesBlockedConsumerWithException)
+{
+    util::BoundedQueue<int> q(2);
+    std::atomic<bool> threw{false};
+    std::thread consumer([&] {
+        try {
+            q.pop();
+        } catch (const std::runtime_error &) {
+            threw.store(true);
+        }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.fail(std::make_exception_ptr(std::runtime_error("boom")));
+    consumer.join();
+    EXPECT_TRUE(threw.load());
+}
+
+TEST(BoundedQueue, FirstFailureWins)
+{
+    util::BoundedQueue<int> q(2);
+    q.fail(std::make_exception_ptr(std::runtime_error("first")));
+    q.fail(std::make_exception_ptr(std::logic_error("second")));
+    try {
+        q.pop();
+        FAIL() << "pop() should have thrown";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "first");
+    } catch (...) {
+        FAIL() << "wrong exception type (second fail overwrote first)";
+    }
+}
+
+TEST(BoundedQueue, MpmcStressDeliversEveryItemExactlyOnce)
+{
+    constexpr int kProducers = 4;
+    constexpr int kConsumers = 3;
+    constexpr int kPerProducer = 2500;
+    util::BoundedQueue<int> q(8);
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&q, p] {
+            for (int i = 0; i < kPerProducer; ++i)
+                ASSERT_TRUE(q.push(p * kPerProducer + i));
+        });
+    }
+
+    std::mutex seen_mu;
+    std::set<int> seen;
+    std::atomic<int64_t> count{0};
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < kConsumers; ++c) {
+        consumers.emplace_back([&] {
+            while (auto v = q.pop()) {
+                count.fetch_add(1);
+                std::lock_guard<std::mutex> lock(seen_mu);
+                EXPECT_TRUE(seen.insert(*v).second)
+                    << "duplicate delivery of " << *v;
+            }
+        });
+    }
+
+    for (auto &t : producers)
+        t.join();
+    q.close();
+    for (auto &t : consumers)
+        t.join();
+
+    EXPECT_EQ(count.load(), kProducers * kPerProducer);
+    EXPECT_EQ(int64_t(seen.size()), kProducers * kPerProducer);
+    const util::QueueStats stats = q.stats();
+    EXPECT_EQ(stats.pushed, uint64_t(kProducers * kPerProducer));
+    EXPECT_EQ(stats.popped, uint64_t(kProducers * kPerProducer));
+    EXPECT_LE(stats.max_depth, q.capacity());
+}
+
+TEST(BoundedQueue, MoveOnlyPayload)
+{
+    util::BoundedQueue<std::unique_ptr<int>> q(2);
+    ASSERT_TRUE(q.push(std::make_unique<int>(5)));
+    auto item = q.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(**item, 5);
+}
+
+} // namespace
+} // namespace fastgl

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Determinism guarantees of the epoch executors: the same
+ * PipelineOptions seed must produce bit-identical EpochResult /
+ * PhaseBreakdown numbers across runs, across executors, and across
+ * AsyncPipeline thread counts — the property that makes the overlapped
+ * executor a drop-in replacement for the sequential one.
+ */
+#include <gtest/gtest.h>
+
+#include "core/async_pipeline.h"
+#include "core/pipeline.h"
+#include "graph/datasets.h"
+
+namespace fastgl {
+namespace {
+
+const graph::Dataset &
+products()
+{
+    static graph::Dataset ds = [] {
+        graph::ReplicaOptions opts;
+        opts.size_factor = 0.15;
+        opts.materialize_features = false;
+        return graph::load_replica(graph::DatasetId::kProducts, opts);
+    }();
+    return ds;
+}
+
+core::PipelineOptions
+options_with_seed(uint64_t seed)
+{
+    core::PipelineOptions opts;
+    opts.fw = core::framework_preset(core::Framework::kFastGL);
+    opts.num_gpus = 2;
+    opts.max_batches = 12;
+    opts.reorder_window = 4;
+    opts.seed = seed;
+    return opts;
+}
+
+void
+expect_identical(const core::EpochResult &a, const core::EpochResult &b)
+{
+    EXPECT_EQ(a.phases.sample, b.phases.sample);
+    EXPECT_EQ(a.phases.id_map, b.phases.id_map);
+    EXPECT_EQ(a.phases.io, b.phases.io);
+    EXPECT_EQ(a.phases.compute, b.phases.compute);
+    EXPECT_EQ(a.phases.allreduce, b.phases.allreduce);
+    EXPECT_EQ(a.epoch_seconds, b.epoch_seconds);
+    EXPECT_EQ(a.batches, b.batches);
+    EXPECT_EQ(a.nodes_loaded, b.nodes_loaded);
+    EXPECT_EQ(a.nodes_reused, b.nodes_reused);
+    EXPECT_EQ(a.cache_hits, b.cache_hits);
+    EXPECT_EQ(a.bytes_loaded, b.bytes_loaded);
+    EXPECT_EQ(a.sampled_instances, b.sampled_instances);
+    EXPECT_EQ(a.unique_nodes, b.unique_nodes);
+}
+
+TEST(Determinism, SequentialSameSeedSameNumbersAcrossRuns)
+{
+    const auto opts = options_with_seed(2024);
+    core::Pipeline a(products(), opts);
+    core::Pipeline b(products(), opts);
+    for (int epoch = 0; epoch < 2; ++epoch)
+        expect_identical(a.run_epoch(), b.run_epoch());
+}
+
+TEST(Determinism, AsyncSameSeedSameNumbersAcrossRuns)
+{
+    const auto opts = options_with_seed(2024);
+    core::AsyncPipelineOptions async;
+    async.sampler_threads = 4;
+    core::AsyncPipeline a(products(), opts, async);
+    core::AsyncPipeline b(products(), opts, async);
+    for (int epoch = 0; epoch < 2; ++epoch)
+        expect_identical(a.run_epoch(), b.run_epoch());
+}
+
+TEST(Determinism, AsyncMatchesSequentialAcrossThreadCounts)
+{
+    const auto opts = options_with_seed(99);
+    core::Pipeline seq(products(), opts);
+    const auto reference = seq.run_epoch();
+
+    // The ISSUE's acceptance matrix: {1, 2, 8} sampler threads.
+    for (int threads : {1, 2, 8}) {
+        core::AsyncPipelineOptions async;
+        async.sampler_threads = threads;
+        core::AsyncPipeline pipe(products(), opts, async);
+        expect_identical(reference, pipe.run_epoch());
+    }
+}
+
+TEST(Determinism, BatchSamplingIsOrderIndependent)
+{
+    // Direct check of the per-batch seed derivation: sampling the same
+    // batch through two independent sampler instances (as two producer
+    // threads would) yields the same subgraph, regardless of what else
+    // each instance sampled before.
+    sample::NeighborSamplerOptions nopts;
+    nopts.fanouts = {4, 4};
+    sample::NeighborSampler first(products().graph, nopts);
+    sample::NeighborSampler second(products().graph, nopts);
+
+    std::vector<graph::NodeId> seeds_a = {1, 2, 3, 4};
+    std::vector<graph::NodeId> seeds_b = {9, 10, 11};
+
+    // Warp the second sampler's history before the comparison draw.
+    (void)second.sample(seeds_b, 777);
+
+    const auto sg_a = first.sample(seeds_a, 1234);
+    const auto sg_b = second.sample(seeds_a, 1234);
+    EXPECT_EQ(sg_a.nodes, sg_b.nodes);
+    EXPECT_EQ(sg_a.instances, sg_b.instances);
+    EXPECT_EQ(sg_a.edges_examined, sg_b.edges_examined);
+    ASSERT_EQ(sg_a.blocks.size(), sg_b.blocks.size());
+    for (size_t h = 0; h < sg_a.blocks.size(); ++h) {
+        EXPECT_EQ(sg_a.blocks[h].indptr, sg_b.blocks[h].indptr);
+        EXPECT_EQ(sg_a.blocks[h].sources, sg_b.blocks[h].sources);
+    }
+}
+
+TEST(Determinism, DifferentSeedsProduceDifferentEpochs)
+{
+    core::Pipeline a(products(), options_with_seed(1));
+    core::Pipeline b(products(), options_with_seed(2));
+    // Not a correctness requirement per se, but if this fails the seed
+    // plumbing is dead and the identity tests above prove nothing.
+    EXPECT_NE(a.run_epoch().sampled_instances,
+              b.run_epoch().sampled_instances);
+}
+
+TEST(Determinism, PhaseBreakdownStableAcrossEpochReplay)
+{
+    // Replaying a fresh pipeline after N epochs matches a twin that ran
+    // the same N epochs: epoch indices, not shared-RNG call order,
+    // drive the streams.
+    const auto opts = options_with_seed(55);
+    core::Pipeline a(products(), opts);
+    core::Pipeline b(products(), opts);
+    (void)a.run_epoch();
+    (void)b.run_epoch();
+    const auto ra = a.run_epoch();
+    const auto rb = b.run_epoch();
+    expect_identical(ra, rb);
+    EXPECT_EQ(ra.phases.total(), rb.phases.total());
+    EXPECT_EQ(ra.phases.sample_total(), rb.phases.sample_total());
+}
+
+} // namespace
+} // namespace fastgl

@@ -106,7 +106,9 @@ TEST(Integration, MatchDegreeOrderingAcrossDatasets)
 TEST(Integration, ReorderWindowImprovesReuse)
 {
     // Fig. 10b: Match+Reorder reuses at least as much as Match alone.
-    auto run = [](core::IoStrategy io) {
+    // The greedy window reorder is a heuristic, so assert the aggregate
+    // over several seeds rather than any single epoch stream.
+    auto run = [](core::IoStrategy io, uint64_t seed) {
         core::PipelineOptions opts;
         opts.fw = core::framework_preset(core::Framework::kFastGL);
         opts.fw.io = io;
@@ -114,13 +116,18 @@ TEST(Integration, ReorderWindowImprovesReuse)
         opts.num_gpus = 1;
         opts.max_batches = 12;
         opts.reorder_window = 6;
-        opts.seed = 21;
+        opts.seed = seed;
         core::Pipeline pipe(replica(graph::DatasetId::kProducts), opts);
         return pipe.run_epoch();
     };
-    const auto match_only = run(core::IoStrategy::kMatch);
-    const auto reordered = run(core::IoStrategy::kMatchReorder);
-    EXPECT_LE(reordered.nodes_loaded, match_only.nodes_loaded);
+    int64_t match_only = 0;
+    int64_t reordered = 0;
+    for (uint64_t seed : {21, 22, 23}) {
+        match_only += run(core::IoStrategy::kMatch, seed).nodes_loaded;
+        reordered +=
+            run(core::IoStrategy::kMatchReorder, seed).nodes_loaded;
+    }
+    EXPECT_LE(reordered, match_only);
 }
 
 TEST(Integration, AblationStackEachStepHelps)

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# CI entry point: configure from scratch, build, and run the full test
+# suite. A FRESH build directory matters — gtest_discover_tests leaves a
+# fastgl_tests_NOT_BUILT placeholder in stale CTest state, which then
+# "fails" forever even though the tree is fine.
+#
+# Usage:
+#   tools/ci.sh                 # warnings-as-errors build + full ctest
+#   FASTGL_TSAN=1 tools/ci.sh   # additionally run the concurrency
+#                               # suite under ThreadSanitizer
+#
+# Environment:
+#   FASTGL_CI_JOBS   parallel build/test jobs (default: nproc)
+#   FASTGL_TSAN      when 1, add a -fsanitize=thread configuration
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${FASTGL_CI_JOBS:-$(nproc)}"
+
+run_config() {
+    local dir="$1"
+    shift
+    rm -rf "$dir"
+    cmake -B "$dir" -S . "$@"
+    cmake --build "$dir" -j "$JOBS"
+}
+
+echo "==> primary configuration (tests built with -Werror)"
+run_config build-ci -DFASTGL_TEST_WERROR=ON
+ctest --test-dir build-ci --output-on-failure -j "$JOBS"
+
+if [[ "${FASTGL_TSAN:-0}" == "1" ]]; then
+    echo "==> ThreadSanitizer configuration (concurrency suite)"
+    run_config build-tsan -DFASTGL_SANITIZE=thread \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+        -R 'BoundedQueue|ThreadPool|AsyncPipeline|Determinism'
+fi
+
+echo "==> CI OK"
