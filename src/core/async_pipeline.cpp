@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
-#include <map>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "util/logging.h"
 
 namespace fastgl {
 namespace core {
@@ -138,10 +139,27 @@ AsyncPipeline::run_epoch()
     {
         std::mutex mu;
         size_t next_window = 0;
-        std::map<size_t, WindowItem> pending;
+        /**
+         * Reassembly ring indexed by window sequence number modulo its
+         * capacity (no per-window node allocations, unlike the former
+         * std::map). A window can run ahead of next_window by at most
+         * the number of in-flight items: one per producer thread
+         * (claimed, not yet pushed), queue_depth in the batch queue,
+         * and one per gather thread (popped, waiting on this lock) —
+         * the ring is sized to that bound, so a slot is always free.
+         */
+        std::vector<WindowItem> ring;
+        std::vector<char> occupied;
         match::Matcher matcher;
     };
     std::vector<GpuState> gpus(static_cast<size_t>(total));
+    const size_t ring_cap = async_.queue_depth +
+                            static_cast<size_t>(sampler_threads_) +
+                            static_cast<size_t>(gather_threads_) + 1;
+    for (GpuState &state : gpus) {
+        state.ring.resize(ring_cap);
+        state.occupied.assign(ring_cap, 0);
+    }
 
     std::atomic<size_t> window_cursor{0};
     std::atomic<int64_t> windows_produced{0};
@@ -194,13 +212,18 @@ AsyncPipeline::run_epoch()
                 GpuState &state =
                     gpus[static_cast<size_t>(item->ref.gpu)];
                 std::lock_guard<std::mutex> lock(state.mu);
-                state.pending.emplace(item->ref.index,
-                                      std::move(*item));
-                for (auto it = state.pending.find(state.next_window);
-                     it != state.pending.end();
-                     it = state.pending.find(state.next_window)) {
-                    WindowItem window = std::move(it->second);
-                    state.pending.erase(it);
+                const size_t index = item->ref.index;
+                FASTGL_CHECK(index >= state.next_window &&
+                                 index - state.next_window < ring_cap,
+                             "window index outside reassembly ring");
+                const size_t slot = index % ring_cap;
+                state.ring[slot] = std::move(*item);
+                state.occupied[slot] = 1;
+                while (state.occupied[state.next_window % ring_cap]) {
+                    const size_t head = state.next_window % ring_cap;
+                    WindowItem window = std::move(state.ring[head]);
+                    state.ring[head] = WindowItem{};
+                    state.occupied[head] = 0;
                     ++state.next_window;
 
                     const Clock::time_point t0 = Clock::now();

@@ -324,6 +324,22 @@ Pipeline::plan_epoch()
     return plan;
 }
 
+util::ThreadPool *
+Pipeline::reorder_pool(size_t num_sets) const
+{
+    // Below this window size the O(n²) intersection work is too small
+    // to amortise handing chunks to workers.
+    constexpr size_t kParallelWindowThreshold = 8;
+    if (num_sets < kParallelWindowThreshold)
+        return nullptr;
+    std::call_once(match_pool_once_, [this] {
+        const unsigned hw = std::thread::hardware_concurrency();
+        match_pool_ = std::make_unique<util::ThreadPool>(
+            std::min<size_t>(hw == 0 ? 2 : hw, 8));
+    });
+    return match_pool_.get();
+}
+
 std::vector<size_t>
 Pipeline::window_order(
     const match::Matcher &matcher,
@@ -341,12 +357,14 @@ Pipeline::window_order(
             sets.emplace_back(sg.nodes);
         // Chain on raw overlap counts (= the rows Match saves),
         // anchored at the batch resident on the GPU from the
-        // previous window so the hand-over also reuses.
+        // previous window so the hand-over also reuses. The pairwise
+        // counts row-shard over the match pool for big windows; the
+        // result is bit-identical to the sequential computation.
         const match::NodeSet *anchor =
             matcher.resident().size() > 0 ? &matcher.resident()
                                           : nullptr;
-        match::ReorderResult rr =
-            match::greedy_reorder_max_overlap(anchor, sets);
+        match::ReorderResult rr = match::greedy_reorder_max_overlap(
+            anchor, sets, reorder_pool(sets.size()));
         for (size_t i = 0; i < order.size(); ++i)
             order[i] = static_cast<size_t>(rr.order[i]);
     }

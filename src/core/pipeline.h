@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "sample/neighbor_sampler.h"
 #include "sample/random_walk_sampler.h"
 #include "sim/gpu_spec.h"
+#include "util/thread_pool.h"
 
 namespace fastgl {
 namespace core {
@@ -204,6 +206,18 @@ class Pipeline
 
     void build_cache();
 
+    /**
+     * Shared worker pool for the O(n²) Reorder set algebra, created
+     * lazily the first time a window is big enough to benefit (small
+     * windows stay sequential — the fork/join overhead would dominate).
+     * Thread safe: gather threads of the overlapped executor call
+     * window_order concurrently, and both the lazy construction
+     * (call_once) and ThreadPool::submit are safe under contention. The
+     * row-sharded matrix is bit-identical for any worker count, so the
+     * pool never changes results.
+     */
+    util::ThreadPool *reorder_pool(size_t num_sets) const;
+
     const graph::Dataset &dataset_;
     PipelineOptions opts_;
     sim::GpuSpec spec_;
@@ -219,6 +233,8 @@ class Pipeline
     uint64_t param_bytes_ = 0;
     int epoch_ = 0;
     std::vector<BatchStageTimes> last_stages_;
+    mutable std::once_flag match_pool_once_;
+    mutable std::unique_ptr<util::ThreadPool> match_pool_;
 };
 
 /** Analytic parameter byte count for @p config (no model instantiation). */

@@ -101,25 +101,23 @@ greedy_reorder_anchored(const NodeSet &anchor,
 
 ReorderResult
 greedy_reorder_max_overlap(const NodeSet *anchor,
-                           const std::vector<NodeSet> &batches)
+                           const std::vector<NodeSet> &batches,
+                           util::ThreadPool *pool)
 {
     const int64_t n = static_cast<int64_t>(batches.size());
     ReorderResult result;
     if (n == 0)
         return result;
 
-    // Pairwise raw overlap counts.
-    std::vector<std::vector<int64_t>> overlap(
-        static_cast<size_t>(n), std::vector<int64_t>(n, 0));
-    for (int64_t i = 0; i < n; ++i) {
-        for (int64_t j = i + 1; j < n; ++j) {
-            const int64_t o = batches[static_cast<size_t>(i)]
-                                  .intersection_size(
-                                      batches[static_cast<size_t>(j)]);
-            overlap[i][j] = o;
-            overlap[j][i] = o;
-        }
-    }
+    // Pairwise raw overlap counts, flattened n*n (row-sharded over the
+    // pool when given; same counts either way). Note the diagonal holds
+    // |b_i|, which the chain below never reads (self is always
+    // "inserted" before its row is scanned).
+    const std::vector<int64_t> overlap =
+        pairwise_overlap_counts(batches, pool);
+    const auto cell = [&overlap, n](int64_t i, int64_t j) {
+        return overlap[static_cast<size_t>(i * n + j)];
+    };
 
     int64_t head = 0;
     if (anchor != nullptr) {
@@ -144,8 +142,8 @@ greedy_reorder_max_overlap(const NodeSet *anchor,
         for (int64_t k = 0; k < n; ++k) {
             if (inserted[k])
                 continue;
-            if (overlap[z][k] > best) {
-                best = overlap[z][k];
+            if (cell(z, k) > best) {
+                best = cell(z, k);
                 h = k;
             }
         }
@@ -155,7 +153,7 @@ greedy_reorder_max_overlap(const NodeSet *anchor,
         z = h;
     }
     for (int64_t i = 1; i < n; ++i)
-        result.baseline_match += double(overlap[i - 1][i]);
+        result.baseline_match += double(cell(i - 1, i));
     return result;
 }
 

@@ -56,10 +56,14 @@ ReorderResult greedy_reorder_anchored(const NodeSet &anchor,
  * this variant targets the Match process's objective directly. The
  * pipeline uses it for Reorder windows; @p anchor (may be null) chains
  * the window to the batch already resident on the GPU.
+ *
+ * The pairwise overlap counts (the O(n²) part) run on @p pool when one
+ * is given; the result is bit-identical with or without a pool.
  */
 ReorderResult
 greedy_reorder_max_overlap(const NodeSet *anchor,
-                           const std::vector<NodeSet> &batches);
+                           const std::vector<NodeSet> &batches,
+                           util::ThreadPool *pool = nullptr);
 
 } // namespace match
 } // namespace fastgl

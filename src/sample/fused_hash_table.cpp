@@ -45,13 +45,31 @@ FusedHashTable::reset(size_t capacity_hint)
         keys_ = std::vector<std::atomic<graph::NodeId>>(slots);
         values_ = std::vector<std::atomic<int64_t>>(slots);
         mask_ = slots - 1;
+        for (auto &key : keys_)
+            key.store(kEmptyKey, std::memory_order_relaxed);
+    } else if (track_touched_) {
+        // Only the slots fresh inserts filled need emptying.
+        for (size_t index : touched_)
+            keys_[index].store(kEmptyKey, std::memory_order_relaxed);
+    } else {
+        for (auto &key : keys_)
+            key.store(kEmptyKey, std::memory_order_relaxed);
     }
-    for (auto &key : keys_)
-        key.store(kEmptyKey, std::memory_order_relaxed);
-    for (auto &value : values_)
-        value.store(0, std::memory_order_relaxed);
+    // values_ needs no sweep: a slot's value is only ever read after
+    // its key matched, and every fresh insert stores the value before
+    // the key becomes reachable through lookup in this epoch.
+    touched_.clear();
     next_local_.store(0, std::memory_order_relaxed);
     probes_.store(0, std::memory_order_relaxed);
+}
+
+void
+FusedHashTable::set_touched_tracking(bool on)
+{
+    FASTGL_CHECK(size() == 0,
+                 "touched tracking must be toggled on an empty table");
+    track_touched_ = on;
+    touched_.clear();
 }
 
 size_t
@@ -68,21 +86,34 @@ FusedHashTable::insert(graph::NodeId global)
     uint64_t local_probes = 0;
     for (;;) {
         ++local_probes;
-        graph::NodeId expected = kEmptyKey;
         std::atomic<graph::NodeId> &slot = keys_[index];
-        // Algorithm 2 line 13: Val = atomicCAS(HashIndex, -1, GlobalID).
-        if (slot.compare_exchange_strong(expected, global,
-                                         std::memory_order_acq_rel,
-                                         std::memory_order_acquire)) {
-            // Flag == False: fresh insertion — draw the next local ID
-            // (line 28-29: value <- LocalID; atomicAdd(LocalID, 1)).
-            const int64_t local =
-                next_local_.fetch_add(1, std::memory_order_acq_rel);
-            values_[index].store(local, std::memory_order_release);
-            probes_.fetch_add(local_probes, std::memory_order_relaxed);
-            return true;
+        // Cheap test before the CAS: most probes in a sampling batch
+        // land on an already-claimed slot (duplicate instances), and a
+        // plain acquire load avoids the atomic RMW entirely. Keys are
+        // write-once, so a non-empty observation is final and the probe
+        // walk is the one the CAS-only version would take.
+        graph::NodeId seen = slot.load(std::memory_order_acquire);
+        if (seen == kEmptyKey) {
+            graph::NodeId expected = kEmptyKey;
+            // Algorithm 2 line 13:
+            // Val = atomicCAS(HashIndex, -1, GlobalID).
+            if (slot.compare_exchange_strong(expected, global,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+                // Flag == False: fresh insertion — draw the next local
+                // ID (line 28-29: value <- LocalID; atomicAdd(...)).
+                const int64_t local =
+                    next_local_.fetch_add(1, std::memory_order_acq_rel);
+                values_[index].store(local, std::memory_order_release);
+                probes_.fetch_add(local_probes,
+                                  std::memory_order_relaxed);
+                if (track_touched_)
+                    touched_.push_back(index);
+                return true;
+            }
+            seen = expected; // Lost the race; expected holds the owner.
         }
-        if (expected == global) {
+        if (seen == global) {
             // Flag == True: another thread owns this global ID; no-op.
             probes_.fetch_add(local_probes, std::memory_order_relaxed);
             return false;
@@ -105,6 +136,9 @@ void
 FusedHashTable::insert_stream_parallel(
     std::span<const graph::NodeId> stream, util::ThreadPool &pool)
 {
+    FASTGL_CHECK(!track_touched_,
+                 "touched tracking is single-threaded; disable it "
+                 "before parallel insertion");
     pool.parallel_for(stream.size(), [this, stream](size_t begin,
                                                     size_t end) {
         for (size_t i = begin; i < end; ++i)

@@ -42,6 +42,17 @@ class FusedHashTable
     void reset(size_t capacity_hint);
 
     /**
+     * Record the slot of every fresh insert so reset() can clear just
+     * those slots instead of sweeping the whole key array — the sweep
+     * dominates per-batch cost when the table is sized for a deep
+     * fan-out but holds far fewer uniques. Tracking makes insert()
+     * single-threaded (the touched list is unsynchronised); leave it
+     * off for tables fed by insert_stream_parallel. Must be enabled
+     * while the table is empty.
+     */
+    void set_touched_tracking(bool on);
+
+    /**
      * Insert-or-find @p global (Algorithm 2 Fused_Map). Thread safe.
      * @return true when this call created the entry (Flag == False path).
      */
@@ -83,6 +94,8 @@ class FusedHashTable
     std::atomic<int64_t> next_local_{0};
     mutable std::atomic<uint64_t> probes_{0};
     size_t mask_ = 0;
+    bool track_touched_ = false;
+    std::vector<size_t> touched_; ///< Slots filled since last reset.
 };
 
 } // namespace sample

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "util/logging.h"
 
@@ -17,6 +16,7 @@ LayerSampler::LayerSampler(const graph::CsrGraph &graph,
     FASTGL_CHECK(!opts_.layer_sizes.empty(), "need at least one layer");
     for (int64_t size : opts_.layer_sizes)
         FASTGL_CHECK(size > 0, "layer sizes must be positive");
+    table_.set_touched_tracking(true);
 }
 
 SampledSubgraph
@@ -40,16 +40,16 @@ LayerSampler::sample(std::span<const graph::NodeId> seeds)
         ++sg.instances;
     }
 
+    // Weight accumulator is per-call on purpose (see header: RNG draw
+    // order is pinned to this map's iteration order); everything else
+    // reuses member scratch.
     std::unordered_map<graph::NodeId, double> weight;
-    std::vector<std::pair<double, graph::NodeId>> keyed;
-    std::unordered_set<graph::NodeId> chosen;
-
-    struct PendingBlock
-    {
-        std::vector<graph::EdgeId> counts;
-        std::vector<graph::NodeId> src_globals;
-    };
-    std::vector<PendingBlock> pending(static_cast<size_t>(hops));
+    pending_.resize(static_cast<size_t>(hops));
+    for (PendingBlock &blk : pending_) {
+        blk.counts.clear();
+        blk.src_globals.clear();
+    }
+    chosen_.resize(static_cast<size_t>(graph_.num_nodes()));
 
     for (int h = 0; h < hops; ++h) {
         const int64_t budget =
@@ -68,30 +68,29 @@ LayerSampler::sample(std::span<const graph::NodeId> seeds)
 
         // Weighted sampling without replacement (Efraimidis-Spirakis):
         // key = u^(1/w); keep the `budget` largest keys.
-        keyed.clear();
-        keyed.reserve(weight.size());
+        keyed_.clear();
+        keyed_.reserve(weight.size());
         for (const auto &[node, w] : weight) {
             const double u = std::max(rng_.next_double(), 1e-300);
-            keyed.emplace_back(std::pow(u, 1.0 / w), node);
+            keyed_.emplace_back(std::pow(u, 1.0 / w), node);
         }
-        const size_t keep = std::min(keyed.size(),
+        const size_t keep = std::min(keyed_.size(),
                                      static_cast<size_t>(budget));
-        std::partial_sort(keyed.begin(), keyed.begin() + keep,
-                          keyed.end(), std::greater<>());
+        std::partial_sort(keyed_.begin(), keyed_.begin() + keep,
+                          keyed_.end(), std::greater<>());
 
-        chosen.clear();
         for (size_t i = 0; i < keep; ++i)
-            chosen.insert(keyed[i].second);
+            chosen_.set(static_cast<size_t>(keyed_[i].second));
 
         // Block edges: frontier target u keeps neighbours inside the
         // chosen layer, plus a self edge (keeps the frontier monotone).
-        PendingBlock &blk = pending[static_cast<size_t>(h)];
+        PendingBlock &blk = pending_[static_cast<size_t>(h)];
         blk.counts.reserve(frontier_size);
         for (size_t t = 0; t < frontier_size; ++t) {
             const graph::NodeId gu = sg.nodes[t];
             graph::EdgeId count = 0;
             for (graph::NodeId v : graph_.neighbors(gu)) {
-                if (chosen.count(v)) {
+                if (chosen_.test(static_cast<size_t>(v))) {
                     blk.src_globals.push_back(v);
                     ++count;
                     ++sg.instances;
@@ -102,6 +101,11 @@ LayerSampler::sample(std::span<const graph::NodeId> seeds)
             blk.counts.push_back(count);
         }
 
+        // Touched-reset: unset exactly the bits this hop set, restoring
+        // the all-zero invariant without an O(num_nodes) clear.
+        for (size_t i = 0; i < keep; ++i)
+            chosen_.unset(static_cast<size_t>(keyed_[i].second));
+
         // ID-map construction for the new layer's nodes.
         for (graph::NodeId v : blk.src_globals) {
             if (table_.insert(v))
@@ -111,7 +115,7 @@ LayerSampler::sample(std::span<const graph::NodeId> seeds)
 
     // Translate pass.
     for (int h = 0; h < hops; ++h) {
-        PendingBlock &blk = pending[static_cast<size_t>(h)];
+        PendingBlock &blk = pending_[static_cast<size_t>(h)];
         LayerBlock &out = sg.blocks[static_cast<size_t>(h)];
         const size_t num_targets = blk.counts.size();
         out.targets.resize(num_targets);

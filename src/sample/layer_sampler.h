@@ -10,11 +10,13 @@
 #pragma once
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "graph/csr_graph.h"
 #include "sample/fused_hash_table.h"
 #include "sample/minibatch.h"
+#include "util/bitmap.h"
 #include "util/rng.h"
 
 namespace fastgl {
@@ -48,10 +50,29 @@ class LayerSampler
     int num_hops() const { return int(opts_.layer_sizes.size()); }
 
   private:
+    /** Per-hop staging buffers reused across calls (capacity sticks). */
+    struct PendingBlock
+    {
+        std::vector<graph::EdgeId> counts;
+        std::vector<graph::NodeId> src_globals;
+    };
+
     const graph::CsrGraph &graph_;
     LayerSamplerOptions opts_;
     util::Rng rng_;
     FusedHashTable table_;
+    // Reused scratch: pending blocks, the Efraimidis-Spirakis key list,
+    // and a dense membership bitmap over the graph's nodes replacing the
+    // former per-hop std::unordered_set (bits are unset after each hop
+    // via the key list, so no full clears). The candidate-weight
+    // accumulator deliberately stays a per-call std::unordered_map: the
+    // RNG draws one key per map entry *in iteration order*, so reusing
+    // the map (whose bucket count, hence order, depends on history)
+    // would change which node gets which draw and break bit-identical
+    // replay of sampled layers.
+    std::vector<PendingBlock> pending_;
+    std::vector<std::pair<double, graph::NodeId>> keyed_;
+    util::Bitmap chosen_;
 };
 
 } // namespace sample

@@ -15,6 +15,9 @@ NeighborSampler::NeighborSampler(const graph::CsrGraph &graph,
     FASTGL_CHECK(!opts_.fanouts.empty(), "need at least one fanout");
     for (int fanout : opts_.fanouts)
         FASTGL_CHECK(fanout > 0, "fanouts must be positive");
+    // Sampler instances are single-threaded, so the ID map can clear
+    // only the slots each batch actually filled.
+    table_.set_touched_tracking(true);
 }
 
 SampledSubgraph
@@ -60,27 +63,37 @@ NeighborSampler::sample(std::span<const graph::NodeId> seeds)
 
     // Hop h expands the monotone frontier nodes[0 .. frontier_size); the
     // frontier equals all nodes inserted so far (self edges keep targets
-    // inside the next frontier — see header).
-    struct PendingBlock
-    {
-        std::vector<graph::EdgeId> counts;         // per-target edge count
-        std::vector<graph::NodeId> src_globals;    // source global IDs
-    };
-    std::vector<PendingBlock> pending(hops);
+    // inside the next frontier — see header). All staging buffers come
+    // from the per-sampler arena: zero heap traffic in steady state.
+    arena_.reset();
+    pending_.assign(static_cast<size_t>(hops), PendingBlock{});
 
-    // Scratch for without-replacement rejection sampling.
-    graph::EdgeId chosen[64];
+    // Stack scratch for without-replacement rejection sampling; larger
+    // fanouts spill to the arena below.
+    constexpr int kStackFanout = 64;
+    graph::EdgeId chosen_stack[kStackFanout];
 
     for (int h = 0; h < hops; ++h) {
         const int fanout = opts_.fanouts[hops - 1 - h];
-        FASTGL_CHECK(fanout < 64, "fanout exceeds scratch capacity");
+        graph::EdgeId *chosen =
+            fanout <= kStackFanout
+                ? chosen_stack
+                : arena_.alloc_array<graph::EdgeId>(
+                      static_cast<size_t>(fanout));
         const size_t frontier_size = nodes.size();
-        PendingBlock &blk = pending[h];
-        blk.counts.reserve(frontier_size);
-        blk.src_globals.reserve(frontier_size *
-                                (static_cast<size_t>(fanout) + 1));
+        PendingBlock &blk = pending_[static_cast<size_t>(h)];
+        blk.counts = {arena_.alloc_array<graph::EdgeId>(frontier_size),
+                      frontier_size};
+        const size_t src_cap =
+            frontier_size * (static_cast<size_t>(fanout) + 1);
+        blk.src_globals = {arena_.alloc_array<graph::NodeId>(src_cap),
+                           src_cap};
+        blk.src_locals = {arena_.alloc_array<graph::NodeId>(src_cap),
+                          src_cap};
+        blk.num_sources = 0;
 
         for (size_t t = 0; t < frontier_size; ++t) {
+            const size_t first_src = blk.num_sources;
             const graph::NodeId u = nodes[t];
             const auto nbrs = graph_.neighbors(u);
             const graph::EdgeId deg =
@@ -92,13 +105,13 @@ NeighborSampler::sample(std::span<const graph::NodeId> seeds)
                 for (int k = 0; k < fanout; ++k) {
                     const graph::EdgeId idx = static_cast<graph::EdgeId>(
                         rng_.next_below(static_cast<uint64_t>(deg)));
-                    blk.src_globals.push_back(nbrs[idx]);
+                    blk.src_globals[blk.num_sources++] = nbrs[idx];
                     ++count;
                     ++sg.edges_examined;
                 }
             } else if (deg <= fanout) {
                 for (graph::NodeId v : nbrs) {
-                    blk.src_globals.push_back(v);
+                    blk.src_globals[blk.num_sources++] = v;
                     ++count;
                 }
                 sg.edges_examined += deg;
@@ -120,27 +133,36 @@ NeighborSampler::sample(std::span<const graph::NodeId> seeds)
                     if (dup)
                         continue;
                     chosen[picked++] = idx;
-                    blk.src_globals.push_back(nbrs[idx]);
+                    blk.src_globals[blk.num_sources++] = nbrs[idx];
                     ++count;
                 }
             }
 
             if (opts_.add_self_loops) {
-                blk.src_globals.push_back(u);
+                blk.src_globals[blk.num_sources++] = u;
                 ++count;
             }
-            blk.counts.push_back(count);
+            blk.counts[t] = count;
+
+            // ID-map construction and translation, fused into the
+            // sampling loop while this target's picks are still
+            // cache-hot. The insert sequence equals src_globals order —
+            // exactly what the former whole-hop insert pass produced —
+            // and the immediate lookup walks the same fixed probe path
+            // the former deferred translate pass would have, so local
+            // IDs and total probe counts are unchanged.
+            for (size_t e = first_src; e < blk.num_sources; ++e) {
+                const graph::NodeId v = blk.src_globals[e];
+                if (table_.insert(v))
+                    nodes.push_back(v);
+                blk.src_locals[e] = table_.lookup(v);
+            }
         }
 
-        // ID-map construction pass: insert the sampled sources.
-        for (graph::NodeId v : blk.src_globals) {
-            if (table_.insert(v))
-                nodes.push_back(v);
-        }
         // Every sampled endpoint is an instance except the synthetic self
         // loops, which the ID map never sees separately (the target is
         // already mapped).
-        sg.instances += static_cast<int64_t>(blk.src_globals.size()) -
+        sg.instances += static_cast<int64_t>(blk.num_sources) -
                         (opts_.add_self_loops
                              ? static_cast<int64_t>(frontier_size)
                              : 0);
@@ -149,7 +171,7 @@ NeighborSampler::sample(std::span<const graph::NodeId> seeds)
     // Translate pass (the paper's second kernel): convert the recorded
     // global IDs into local IDs and finalise the CSR blocks.
     for (int h = 0; h < hops; ++h) {
-        PendingBlock &blk = pending[h];
+        PendingBlock &blk = pending_[static_cast<size_t>(h)];
         LayerBlock &out = sg.blocks[h];
         const size_t num_targets = blk.counts.size();
         out.targets.resize(num_targets);
@@ -158,12 +180,11 @@ NeighborSampler::sample(std::span<const graph::NodeId> seeds)
         out.indptr[0] = 0;
         for (size_t t = 0; t < num_targets; ++t)
             out.indptr[t + 1] = out.indptr[t] + blk.counts[t];
-        out.sources.resize(blk.src_globals.size());
-        for (size_t e = 0; e < blk.src_globals.size(); ++e) {
-            const graph::NodeId local = table_.lookup(blk.src_globals[e]);
-            FASTGL_CHECK(local != graph::kInvalidNode,
+        out.sources.resize(blk.num_sources);
+        for (size_t e = 0; e < blk.num_sources; ++e) {
+            FASTGL_CHECK(blk.src_locals[e] != graph::kInvalidNode,
                          "sampled node missing from ID map");
-            out.sources[e] = local;
+            out.sources[e] = blk.src_locals[e];
         }
     }
 

@@ -12,6 +12,7 @@
 #include "graph/csr_graph.h"
 #include "sample/fused_hash_table.h"
 #include "sample/minibatch.h"
+#include "util/arena.h"
 #include "util/rng.h"
 
 namespace fastgl {
@@ -73,12 +74,38 @@ class NeighborSampler
     int num_hops() const { return static_cast<int>(opts_.fanouts.size()); }
 
   private:
+    /**
+     * Per-hop staging buffers, carved from the arena each call. Spans
+     * are sized to the hop's worst case; num_sources tracks the fill.
+     */
+    struct PendingBlock
+    {
+        std::span<graph::EdgeId> counts;      ///< Per-target edge count.
+        std::span<graph::NodeId> src_globals; ///< Source global IDs.
+        /**
+         * Source local IDs, resolved right after each insert while the
+         * slot is cache-hot. In this insert-only linear-probe table a
+         * key's probe path is fixed once inserted, so the immediate
+         * lookup returns the same ID with the same probe count as the
+         * deferred whole-batch translate pass used to — the pass is now
+         * a plain copy.
+         */
+        std::span<graph::NodeId> src_locals;
+        size_t num_sources = 0;
+    };
+
     const graph::CsrGraph &graph_;
     NeighborSamplerOptions opts_;
     util::Rng rng_;
     FusedHashTable table_;
-    // Scratch reused across calls to avoid reallocation.
-    std::vector<graph::NodeId> scratch_;
+    /**
+     * Scratch arena reset at the start of every sample() call: pending
+     * blocks and large-fanout rejection buffers bump-allocate here, so
+     * steady-state sampling performs no heap allocation besides the
+     * returned subgraph itself.
+     */
+    util::ArenaAllocator arena_;
+    std::vector<PendingBlock> pending_;
 };
 
 } // namespace sample

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
-#include <unordered_map>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -16,6 +16,14 @@ RandomWalkSampler::RandomWalkSampler(const graph::CsrGraph &graph,
     FASTGL_CHECK(opts_.walk_length > 0, "walk length must be positive");
     FASTGL_CHECK(opts_.num_walks > 0, "walk count must be positive");
     FASTGL_CHECK(opts_.top_k > 0, "top_k must be positive");
+    table_.set_touched_tracking(true);
+    // Flat visit-count array, zeroed once; walks only ever touch the
+    // entries they visit, and those are re-zeroed per seed via the
+    // touched list, so the invariant "all zero between seeds" holds
+    // without per-call clears.
+    visit_counts_ = arena_.alloc_zeroed<int32_t>(
+        static_cast<size_t>(graph_.num_nodes()));
+    arena_.set_watermark();
 }
 
 SampledSubgraph
@@ -44,16 +52,28 @@ RandomWalkSampler::sample(std::span<const graph::NodeId> seeds)
         ++sg.instances;
     }
 
-    LayerBlock &blk = sg.blocks[0];
-    std::vector<graph::NodeId> src_globals;
-    std::vector<graph::EdgeId> counts;
-    counts.reserve(seeds.size());
+    // Per-call scratch from the arena (reclaimed wholesale by reset):
+    // a seed's walks visit at most num_walks * walk_length distinct
+    // nodes, and the block emits at most top_k + 1 sources per seed.
+    arena_.reset();
+    const size_t visit_cap = static_cast<size_t>(opts_.num_walks) *
+                             static_cast<size_t>(opts_.walk_length);
+    graph::NodeId *touched = arena_.alloc_array<graph::NodeId>(visit_cap);
+    auto *ranked =
+        arena_.alloc_array<std::pair<int, graph::NodeId>>(visit_cap);
+    const size_t src_cap =
+        seeds.size() * (static_cast<size_t>(opts_.top_k) + 1);
+    graph::NodeId *src_globals =
+        arena_.alloc_array<graph::NodeId>(src_cap);
+    size_t num_src = 0;
+    graph::EdgeId *counts =
+        arena_.alloc_array<graph::EdgeId>(seeds.size());
+    size_t num_counts = 0;
 
-    std::unordered_map<graph::NodeId, int> visits;
-    std::vector<std::pair<int, graph::NodeId>> ranked;
+    LayerBlock &blk = sg.blocks[0];
 
     for (graph::NodeId s : seeds) {
-        visits.clear();
+        size_t num_touched = 0;
         for (int w = 0; w < opts_.num_walks; ++w) {
             graph::NodeId cur = s;
             for (int step = 0; step < opts_.walk_length; ++step) {
@@ -62,18 +82,26 @@ RandomWalkSampler::sample(std::span<const graph::NodeId> seeds)
                     break;
                 cur = nbrs[rng_.next_below(nbrs.size())];
                 ++sg.edges_examined;
-                if (cur != s)
-                    ++visits[cur];
+                if (cur != s) {
+                    int32_t &visits =
+                        visit_counts_[static_cast<size_t>(cur)];
+                    if (visits++ == 0)
+                        touched[num_touched++] = cur;
+                }
             }
         }
-        ranked.clear();
-        for (const auto &[node, count] : visits)
-            ranked.emplace_back(count, node);
-        // unordered_map iteration order is not deterministic across
-        // implementations; sort by (count desc, hashed id) — hashing the
-        // tie-break keeps it deterministic without funnelling every seed
-        // to the same low-ID nodes when visit counts tie.
-        std::sort(ranked.begin(), ranked.end(),
+        for (size_t t = 0; t < num_touched; ++t) {
+            ranked[t] = {
+                visit_counts_[static_cast<size_t>(touched[t])],
+                touched[t]};
+        }
+        // Sort by (count desc, hashed id) — hashing the tie-break keeps
+        // the ranking deterministic without funnelling every seed to
+        // the same low-ID nodes when visit counts tie. The comparator
+        // is a strict total order (the mix is a bijection), so the
+        // result is independent of the pre-sort order and matches the
+        // former unordered_map-based implementation bit for bit.
+        std::sort(ranked, ranked + num_touched,
                   [](const auto &a, const auto &b) {
                       if (a.first != b.first)
                           return a.first > b.first;
@@ -88,32 +116,36 @@ RandomWalkSampler::sample(std::span<const graph::NodeId> seeds)
                   });
         graph::EdgeId count = 0;
         const size_t keep =
-            std::min(ranked.size(), static_cast<size_t>(opts_.top_k));
+            std::min(num_touched, static_cast<size_t>(opts_.top_k));
         for (size_t i = 0; i < keep; ++i) {
-            src_globals.push_back(ranked[i].second);
+            src_globals[num_src++] = ranked[i].second;
             ++count;
             ++sg.instances;
         }
         // Self edge so an isolated seed still aggregates itself.
-        src_globals.push_back(s);
+        src_globals[num_src++] = s;
         ++count;
-        counts.push_back(count);
+        counts[num_counts++] = count;
+
+        // Re-zero only the entries this seed touched.
+        for (size_t t = 0; t < num_touched; ++t)
+            visit_counts_[static_cast<size_t>(touched[t])] = 0;
     }
 
-    for (graph::NodeId v : src_globals) {
-        if (table_.insert(v))
-            sg.nodes.push_back(v);
+    for (size_t e = 0; e < num_src; ++e) {
+        if (table_.insert(src_globals[e]))
+            sg.nodes.push_back(src_globals[e]);
     }
 
-    const size_t num_targets = counts.size();
+    const size_t num_targets = num_counts;
     blk.targets.resize(num_targets);
     std::iota(blk.targets.begin(), blk.targets.end(), 0);
     blk.indptr.resize(num_targets + 1);
     blk.indptr[0] = 0;
     for (size_t t = 0; t < num_targets; ++t)
         blk.indptr[t + 1] = blk.indptr[t] + counts[t];
-    blk.sources.resize(src_globals.size());
-    for (size_t e = 0; e < src_globals.size(); ++e) {
+    blk.sources.resize(num_src);
+    for (size_t e = 0; e < num_src; ++e) {
         blk.sources[e] = table_.lookup(src_globals[e]);
         FASTGL_CHECK(blk.sources[e] != graph::kInvalidNode,
                      "walk node missing from ID map");

@@ -15,6 +15,7 @@
 #include "graph/csr_graph.h"
 #include "sample/fused_hash_table.h"
 #include "sample/minibatch.h"
+#include "util/arena.h"
 #include "util/rng.h"
 
 namespace fastgl {
@@ -58,6 +59,15 @@ class RandomWalkSampler
     RandomWalkOptions opts_;
     util::Rng rng_;
     FusedHashTable table_;
+    /**
+     * Scratch arena: the flat per-node visit-count array lives below the
+     * watermark (allocated once, zeroed incrementally via the touched
+     * list), per-call buffers above it (reclaimed by reset()). Replaces
+     * the former per-seed std::unordered_map, which re-allocated its
+     * buckets on every sample() call.
+     */
+    util::ArenaAllocator arena_;
+    int32_t *visit_counts_ = nullptr; ///< Arena-resident, num_nodes ints.
 };
 
 } // namespace sample

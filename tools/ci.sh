@@ -12,6 +12,7 @@
 # Environment:
 #   FASTGL_CI_JOBS   parallel build/test jobs (default: nproc)
 #   FASTGL_TSAN      when 1, add a -fsanitize=thread configuration
+#   FASTGL_NO_PERF   when 1, skip the hot-path perf smoke step
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -35,6 +36,21 @@ if [[ "${FASTGL_TSAN:-0}" == "1" ]]; then
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
         -R 'BoundedQueue|ThreadPool|AsyncPipeline|Determinism'
+fi
+
+if [[ "${FASTGL_NO_PERF:-0}" != "1" ]]; then
+    # Perf smoke: Release build of the hot-path before/after benchmark,
+    # archived as BENCH_hotpath.json. The step fails only when the
+    # benchmark crashes or its legacy replicas diverge from the live
+    # implementations (non-zero exit) — throughput numbers are recorded,
+    # never gated, since CI machines are too noisy for thresholds.
+    echo "==> hot-path perf smoke (Release)"
+    if [[ ! -d build-perf-ci ]]; then
+        cmake -B build-perf-ci -S . -DCMAKE_BUILD_TYPE=Release
+    fi
+    cmake --build build-perf-ci --target bench_ext_hotpath -j "$JOBS"
+    ./build-perf-ci/bench/bench_ext_hotpath --smoke \
+        | tee BENCH_hotpath.json
 fi
 
 echo "==> CI OK"
