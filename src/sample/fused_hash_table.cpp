@@ -55,9 +55,14 @@ FusedHashTable::reset(size_t capacity_hint)
         for (auto &key : keys_)
             key.store(kEmptyKey, std::memory_order_relaxed);
     }
-    // values_ needs no sweep: a slot's value is only ever read after
-    // its key matched, and every fresh insert stores the value before
-    // the key becomes reachable through lookup in this epoch.
+    // values_ needs no sweep — but only because of the API contract
+    // that lookups run after the insert phase has quiesced (see
+    // lookup()): a slot's value is only read after its key matched,
+    // and by quiescence every fresh insert's value store is visible.
+    // insert() publishes the key (CAS) *before* storing the value, so
+    // under a forbidden concurrent insert+lookup a matched key could
+    // pair with a stale value from a previous epoch — an in-range,
+    // silently wrong local ID, not the zero the old full sweep gave.
     touched_.clear();
     next_local_.store(0, std::memory_order_relaxed);
     probes_.store(0, std::memory_order_relaxed);

@@ -67,7 +67,11 @@ class FusedHashTable
 
     /**
      * Translate a global ID to its local ID. Must not run concurrently
-     * with inserts (the paper's second kernel).
+     * with inserts (the paper's second kernel): insert() publishes the
+     * key before its value, so only after the insert phase quiesces
+     * (e.g. a thread-pool join) is every visible key's value valid —
+     * a racing lookup could read a stale value from a previous epoch,
+     * since reset() deliberately does not sweep the value array.
      * @return local ID, or graph::kInvalidNode when absent.
      */
     graph::NodeId lookup(graph::NodeId global) const;

@@ -178,6 +178,52 @@ TEST(AsyncPipeline, BackpressureThrottlesProducersUnderSlowConsumer)
     EXPECT_FALSE(stats.stopped_early);
 }
 
+TEST(AsyncPipeline, ReassemblyRingGrowsWhenOneWindowLagsFarBehind)
+{
+    // Regression: the reassembly ring's seed capacity (queue_depth +
+    // producers + gatherers + 1 = 5 here) counts only windows held in
+    // producers, the queue, and gather threads — not windows already
+    // parked in the ring. Stall one producer on its first window while
+    // the other samples the remaining seven: the gather thread parks
+    // windows up to sequence 7 with next_window still at 0 or 1, far
+    // past the seed capacity, which used to trip a FASTGL_CHECK panic
+    // and must now grow the ring instead. The epoch still finishes and
+    // stays bit-identical to the sequential executor.
+    auto opts = base_options(core::Framework::kFastGL);
+    opts.num_gpus = 1;
+    opts.max_batches = 16;
+    opts.reorder_window = 2; // 8 windows, all on the single GPU
+
+    core::Pipeline seq(products(), opts);
+    const auto reference = seq.run_epoch();
+
+    core::AsyncPipelineOptions async;
+    async.sampler_threads = 2;
+    async.gather_threads = 1;
+    async.compute_threads = 1;
+    async.queue_depth = 1;
+    std::atomic<int> sampled{0};
+    std::atomic<bool> stalled{false};
+    async.sample_hook = [&](int64_t) {
+        if (stalled.exchange(true)) {
+            sampled.fetch_add(1);
+            return;
+        }
+        // The first producer to arrive holds its window hostage until
+        // the other has sampled all 14 remaining batches; the grace
+        // period then lets the gather thread park those windows.
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(10);
+        while (sampled.load() < 14 &&
+               std::chrono::steady_clock::now() < deadline)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    };
+    core::AsyncPipeline pipe(products(), opts, async);
+    expect_identical(reference, pipe.run_epoch());
+    EXPECT_EQ(pipe.last_stats().batches_completed, 16);
+}
+
 TEST(AsyncPipeline, SampleStageExceptionPropagatesToCaller)
 {
     auto opts = base_options(core::Framework::kFastGL);
