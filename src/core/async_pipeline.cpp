@@ -43,16 +43,12 @@ AsyncPipeline::AsyncPipeline(const graph::Dataset &dataset,
 void
 AsyncPipeline::request_stop()
 {
-    stop_.store(true, std::memory_order_release);
-    std::lock_guard<std::mutex> lock(queues_mu_);
-    if (close_queues_)
-        close_queues_();
+    shutdown_.request_stop();
 }
 
 EpochResult
 AsyncPipeline::run_epoch()
 {
-    stop_.store(false, std::memory_order_release);
     stats_ = AsyncEpochStats{};
     const Clock::time_point wall_start = Clock::now();
 
@@ -109,13 +105,10 @@ AsyncPipeline::run_epoch()
     util::BoundedQueue<WindowItem> batch_queue(async_.queue_depth);
     util::BoundedQueue<ComputeItem> compute_queue(std::max<size_t>(
         1, async_.queue_depth * static_cast<size_t>(plan.window)));
-    {
-        std::lock_guard<std::mutex> lock(queues_mu_);
-        close_queues_ = [&batch_queue, &compute_queue] {
-            batch_queue.close();
-            compute_queue.close();
-        };
-    }
+    shutdown_.begin_run([&batch_queue, &compute_queue] {
+        batch_queue.close();
+        compute_queue.close();
+    });
 
     std::mutex error_mu;
     std::exception_ptr first_error;
@@ -198,7 +191,7 @@ AsyncPipeline::run_epoch()
         try {
             Pipeline::ThreadSampler sampler(pipeline_);
             for (;;) {
-                if (stop_.load(std::memory_order_acquire))
+                if (shutdown_.stop_requested())
                     break;
                 const size_t wi = window_cursor.fetch_add(
                     1, std::memory_order_relaxed);
@@ -336,15 +329,11 @@ AsyncPipeline::run_epoch()
     compute_queue.close();
     for (auto &t : computers)
         t.join();
-    {
-        std::lock_guard<std::mutex> lock(queues_mu_);
-        close_queues_ = nullptr;
-    }
-
     stats_.wall_seconds = seconds_since(wall_start);
     stats_.windows_produced = windows_produced.load();
     stats_.batches_completed = batches_completed.load();
-    stats_.stopped_early = stop_.load(std::memory_order_acquire);
+    stats_.stopped_early = shutdown_.stop_requested();
+    shutdown_.end_run();
     stats_.batch_queue = batch_queue.stats();
     stats_.compute_queue = compute_queue.stats();
 

@@ -19,12 +19,11 @@
  */
 #pragma once
 
-#include <atomic>
 #include <functional>
-#include <mutex>
 
 #include "core/pipeline.h"
 #include "util/bounded_queue.h"
+#include "util/shutdown.h"
 
 namespace fastgl {
 namespace core {
@@ -108,7 +107,7 @@ class AsyncPipeline
     void request_stop();
 
     /** True once request_stop() was called for the current epoch. */
-    bool stop_requested() const { return stop_.load(); }
+    bool stop_requested() const { return shutdown_.stop_requested(); }
 
     /** Measured host-side statistics of the most recent epoch. */
     const AsyncEpochStats &last_stats() const { return stats_; }
@@ -129,10 +128,8 @@ class AsyncPipeline
     int sampler_threads_ = 1;
     int gather_threads_ = 1;
     int compute_threads_ = 1;
-    std::atomic<bool> stop_{false};
-    /** Guards close_queues_, which is only set while an epoch runs. */
-    std::mutex queues_mu_;
-    std::function<void()> close_queues_;
+    /** Stop flag + close-queues action of the in-flight epoch. */
+    util::StageShutdown shutdown_;
     AsyncEpochStats stats_;
 };
 

@@ -12,6 +12,7 @@
  *  - fastgl::match   — Match-Reorder transfer planning, feature caches
  *  - fastgl::compute — GCN/GIN/GAT numerics + Memory-Aware cost model
  *  - fastgl::core    — framework presets, epoch pipeline, trainer
+ *  - fastgl::serve   — online inference serving (batching, SLO control)
  */
 #pragma once
 
@@ -37,6 +38,8 @@
 #include "sample/batch_splitter.h"
 #include "sample/neighbor_sampler.h"
 #include "sample/random_walk_sampler.h"
+#include "serve/load_generator.h"
+#include "serve/server.h"
 #include "sim/gpu_spec.h"
 #include "sim/roofline.h"
 #include "util/logging.h"

@@ -1,0 +1,32 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace fastgl {
+namespace serve {
+
+DynamicBatcher::DynamicBatcher(BatcherPolicy policy) : policy_(policy)
+{
+    policy_.max_batch = std::max(1, policy_.max_batch);
+    policy_.max_wait = std::max(0.0, policy_.max_wait);
+}
+
+void
+DynamicBatcher::admit(PendingRequest pending, double now)
+{
+    if (pending_.empty())
+        opened_at_ = now;
+    pending_.push_back(std::move(pending));
+}
+
+std::vector<PendingRequest>
+DynamicBatcher::take()
+{
+    std::vector<PendingRequest> batch;
+    batch.swap(pending_);
+    return batch;
+}
+
+} // namespace serve
+} // namespace fastgl

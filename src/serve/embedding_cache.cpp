@@ -1,0 +1,67 @@
+#include "serve/embedding_cache.h"
+
+#include <algorithm>
+
+namespace fastgl {
+namespace serve {
+
+EmbeddingCache::EmbeddingCache(EmbeddingCacheOptions opts)
+    : capacity_(std::max<int64_t>(0, opts.capacity_rows)),
+      staleness_(opts.staleness)
+{
+    // Negative capacity means "derive a default"; the Server resolves
+    // that against its dataset before constructing the cache, so here
+    // it just disables.
+    if (capacity_ > 0)
+        map_.reserve(static_cast<size_t>(capacity_));
+}
+
+bool
+EmbeddingCache::lookup(graph::NodeId node, double now)
+{
+    if (!enabled()) {
+        ++misses_;
+        return false;
+    }
+    auto it = map_.find(node);
+    if (it == map_.end() || staleness_ <= 0.0 ||
+        now - it->second->computed_at > staleness_) {
+        ++misses_;
+        return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second); // refresh recency
+    ++hits_;
+    return true;
+}
+
+bool
+EmbeddingCache::fresh(graph::NodeId node, double now) const
+{
+    if (!enabled() || staleness_ <= 0.0)
+        return false;
+    auto it = map_.find(node);
+    return it != map_.end() &&
+           now - it->second->computed_at <= staleness_;
+}
+
+void
+EmbeddingCache::update(graph::NodeId node, double now)
+{
+    if (!enabled())
+        return;
+    auto it = map_.find(node);
+    if (it != map_.end()) {
+        it->second->computed_at = now;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    if (static_cast<int64_t>(map_.size()) >= capacity_) {
+        map_.erase(lru_.back().node);
+        lru_.pop_back();
+    }
+    lru_.push_front({node, now});
+    map_[node] = lru_.begin();
+}
+
+} // namespace serve
+} // namespace fastgl

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Bounded-staleness embedding cache for online serving.
+ *
+ * Two caches cooperate at inference time (the BGL insight: the data
+ * path, not the math, is where GNN serving wins):
+ *
+ *  - match::StaticFeatureCache (layer 0): hot nodes' *input features*
+ *    stay resident on the device, so a batch's gather skips PCIe for
+ *    them. The serving Server owns one, filled from a hotness ranking.
+ *  - EmbeddingCache (this file, final layer): a target node's *output
+ *    embedding* computed by a recent batch is served directly — no
+ *    sampling, no gather, no compute — as long as it is younger than
+ *    the staleness bound. GNN embeddings drift slowly between graph
+ *    updates, so bounded staleness is the standard serving trade.
+ *
+ * The cache is LRU over a fixed row budget and keyed by virtual time:
+ * recency and freshness both derive from the deterministic simulation
+ * clock, so its behaviour is bit-identical across runs and thread
+ * counts. It is deliberately single-threaded — only the serving
+ * sequencer touches it, exactly like the Matcher in the training
+ * pipeline is per-GPU.
+ */
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "graph/csr_graph.h"
+
+namespace fastgl {
+namespace serve {
+
+/** Capacity/staleness knobs of EmbeddingCache. */
+struct EmbeddingCacheOptions
+{
+    /**
+     * Embedding rows the cache may hold. 0 disables the cache;
+     * negative derives a default from the graph (num_nodes / 10).
+     */
+    int64_t capacity_rows = -1;
+    /**
+     * Maximum age (virtual seconds) at which a cached embedding may
+     * still be served. Nonpositive values never serve from cache
+     * (entries are still written, for warmup-style inspection).
+     */
+    double staleness = 100e-3;
+};
+
+/** LRU cache of node -> (embedding computed-at virtual time). */
+class EmbeddingCache
+{
+  public:
+    explicit EmbeddingCache(EmbeddingCacheOptions opts);
+
+    bool enabled() const { return capacity_ > 0; }
+
+    /**
+     * Serve-path probe at virtual time @p now: hit iff @p node is
+     * resident and its embedding is at most `staleness` old. Counts
+     * hit/miss statistics and refreshes LRU recency on hit.
+     */
+    bool lookup(graph::NodeId node, double now);
+
+    /** Freshness probe without statistics or recency effects. */
+    bool fresh(graph::NodeId node, double now) const;
+
+    /**
+     * Record that @p node's embedding was (re)computed at virtual time
+     * @p now; evicts the least recently used row when over budget.
+     */
+    void update(graph::NodeId node, double now);
+
+    int64_t capacity_rows() const { return capacity_; }
+    int64_t size() const { return static_cast<int64_t>(map_.size()); }
+    int64_t hits() const { return hits_; }
+    int64_t misses() const { return misses_; }
+
+    /** Hit fraction over all lookups so far. */
+    double
+    hit_rate() const
+    {
+        const int64_t total = hits_ + misses_;
+        return total ? double(hits_) / double(total) : 0.0;
+    }
+
+  private:
+    struct Entry
+    {
+        graph::NodeId node;
+        double computed_at;
+    };
+
+    /** MRU at front; eviction pops the back. */
+    std::list<Entry> lru_;
+    std::unordered_map<graph::NodeId, std::list<Entry>::iterator> map_;
+    int64_t capacity_ = 0;
+    double staleness_ = 0.0;
+    int64_t hits_ = 0;
+    int64_t misses_ = 0;
+};
+
+} // namespace serve
+} // namespace fastgl

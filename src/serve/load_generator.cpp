@@ -1,0 +1,107 @@
+#include "serve/load_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace fastgl {
+namespace serve {
+
+namespace {
+
+/** Stream tags for derive_seed (arbitrary, fixed forever). */
+constexpr uint64_t kArrivalStream = 0x5E21;
+constexpr uint64_t kTargetStream = 0x5E22;
+
+} // namespace
+
+const char *
+outcome_name(Outcome outcome)
+{
+    switch (outcome) {
+      case Outcome::kUnprocessed:
+        return "unprocessed";
+      case Outcome::kServed:
+        return "served";
+      case Outcome::kServedLate:
+        return "served-late";
+      case Outcome::kEmbeddingHit:
+        return "embedding-hit";
+      case Outcome::kShedQueue:
+        return "shed-queue";
+      case Outcome::kDroppedDeadline:
+        return "dropped-deadline";
+    }
+    return "?";
+}
+
+LoadGenerator::LoadGenerator(std::span<const graph::NodeId> population,
+                             LoadGeneratorOptions opts)
+    : population_(population.begin(), population.end()),
+      opts_(opts)
+{
+    FASTGL_CHECK(!population_.empty(),
+                 "LoadGenerator needs a non-empty population");
+    FASTGL_CHECK(opts_.rate_rps > 0.0,
+                 "LoadGenerator rate must be positive");
+    opts_.targets_per_request = std::clamp<int>(
+        opts_.targets_per_request, 1,
+        static_cast<int>(population_.size()));
+    opts_.hot_fraction = std::clamp(opts_.hot_fraction, 0.0, 1.0);
+    opts_.hot_traffic = std::clamp(opts_.hot_traffic, 0.0, 1.0);
+}
+
+std::vector<InferenceRequest>
+LoadGenerator::generate() const
+{
+    const size_t pop = population_.size();
+    const size_t hot =
+        std::max<size_t>(1, static_cast<size_t>(
+                                std::llround(opts_.hot_fraction *
+                                             static_cast<double>(pop))));
+
+    // Arrival gaps draw from one dedicated stream; each request's
+    // targets draw from its own derived stream, so the trace for
+    // request i never depends on how many targets earlier requests
+    // consumed.
+    util::Rng arrivals(
+        util::derive_seed(opts_.seed, kArrivalStream, 0));
+
+    std::vector<InferenceRequest> trace;
+    trace.reserve(static_cast<size_t>(opts_.num_requests));
+    double now = 0.0;
+    for (int64_t i = 0; i < opts_.num_requests; ++i) {
+        // Exponential interarrival; 1 - U keeps log()'s argument in
+        // (0, 1] (next_double may return exactly 0).
+        now += -std::log(1.0 - arrivals.next_double()) / opts_.rate_rps;
+
+        InferenceRequest req;
+        req.id = i;
+        req.arrival = now;
+        req.deadline = now + opts_.slo_deadline;
+
+        util::Rng rng(util::derive_seed(opts_.seed, kTargetStream,
+                                        static_cast<uint64_t>(i)));
+        req.targets.reserve(
+            static_cast<size_t>(opts_.targets_per_request));
+        while (req.targets.size() <
+               static_cast<size_t>(opts_.targets_per_request)) {
+            const bool from_hot = rng.next_double() < opts_.hot_traffic;
+            const size_t bound = from_hot ? hot : pop;
+            const graph::NodeId node =
+                population_[rng.next_below(bound)];
+            // Targets are distinct within a request (the embedding is
+            // computed once anyway); draws are few, linear scan is fine.
+            if (std::find(req.targets.begin(), req.targets.end(),
+                          node) == req.targets.end())
+                req.targets.push_back(node);
+        }
+        trace.push_back(std::move(req));
+    }
+    return trace;
+}
+
+} // namespace serve
+} // namespace fastgl

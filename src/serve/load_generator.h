@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Open-loop Poisson request generator for the serving benchmarks.
+ *
+ * Open loop means arrivals do not wait for the server: the offered rate
+ * is fixed and an overloaded server falls behind, which is the regime
+ * where admission control earns its keep. Arrival gaps are exponential
+ * (Poisson process) and targets follow a hot/cold skew over a caller-
+ * supplied popularity order, so a hotness-ranked cache can actually hit.
+ *
+ * The whole trace is a pure function of the options (every stochastic
+ * choice draws from util::Rng streams derived via util::derive_seed),
+ * making serving runs exactly reproducible.
+ */
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace fastgl {
+namespace serve {
+
+/** Workload knobs of LoadGenerator. */
+struct LoadGeneratorOptions
+{
+    /** Offered load in requests per virtual second. */
+    double rate_rps = 2000.0;
+    /** Trace length in requests. */
+    int64_t num_requests = 1024;
+    /** Distinct target nodes per request (clamped to population size). */
+    int targets_per_request = 1;
+    /** Per-request latency budget; deadline = arrival + this. */
+    double slo_deadline = 50e-3;
+    /**
+     * Skew: the first hot_fraction of the population receives
+     * hot_traffic of all target draws; the rest is uniform over the
+     * whole population. hot_traffic = hot_fraction degenerates to
+     * uniform traffic.
+     */
+    double hot_fraction = 0.10;
+    double hot_traffic = 0.80;
+    uint64_t seed = 1;
+};
+
+/** Deterministic open-loop Poisson trace over a node population. */
+class LoadGenerator
+{
+  public:
+    /**
+     * @param population candidate target nodes in *popularity order*
+     *        (hottest first). Pass a hotness ranking (e.g.
+     *        match::degree_ranking) so the generator's hot set aligns
+     *        with what a hotness-ranked cache keeps resident.
+     */
+    LoadGenerator(std::span<const graph::NodeId> population,
+                  LoadGeneratorOptions opts);
+
+    /** Produce the full trace (sorted by arrival, ids dense from 0). */
+    std::vector<InferenceRequest> generate() const;
+
+    const LoadGeneratorOptions &options() const { return opts_; }
+
+  private:
+    std::vector<graph::NodeId> population_;
+    LoadGeneratorOptions opts_;
+};
+
+} // namespace serve
+} // namespace fastgl

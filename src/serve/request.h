@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Request/response types of the online inference service (fastgl::serve).
+ *
+ * All times are *virtual* seconds on the serving simulation's clock
+ * (which starts at 0 when a trace begins). The serving executor does
+ * real host work — ego-net sampling, hashing, cache bookkeeping — but
+ * every latency a client observes is modelled from measured counts via
+ * sim::KernelModel / the PCIe constants, exactly like the training
+ * pipeline ("counts measured, seconds modelled").
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace fastgl {
+namespace serve {
+
+/** One online inference request: embed these target nodes, soon. */
+struct InferenceRequest
+{
+    /** Dense request sequence number; also the RNG stream index. */
+    int64_t id = 0;
+    /** Arrival on the virtual clock (seconds). */
+    double arrival = 0.0;
+    /** Absolute completion deadline on the virtual clock (seconds). */
+    double deadline = 0.0;
+    /** Target nodes whose embeddings the client wants (distinct). */
+    std::vector<graph::NodeId> targets;
+};
+
+/** What happened to a request. */
+enum class Outcome
+{
+    kUnprocessed,     ///< The run stopped before this request was seen.
+    kServed,          ///< Completed within its deadline.
+    kServedLate,      ///< Completed, but after its deadline.
+    kEmbeddingHit,    ///< Answered from the embedding cache, no GPU work.
+    kShedQueue,       ///< Refused at admission: pending queue too deep.
+    kDroppedDeadline, ///< Refused at admission: could not start in time.
+};
+
+/** Printable outcome name. */
+const char *outcome_name(Outcome outcome);
+
+/** True when the request produced an answer (any served outcome). */
+inline bool
+is_served(Outcome outcome)
+{
+    return outcome == Outcome::kServed || outcome == Outcome::kServedLate ||
+           outcome == Outcome::kEmbeddingHit;
+}
+
+/** The server's answer (or refusal) for one request. */
+struct InferenceResponse
+{
+    int64_t request_id = 0;
+    Outcome outcome = Outcome::kUnprocessed;
+    /** Virtual completion time; 0 for refused/unprocessed requests. */
+    double completion = 0.0;
+    /** completion - arrival; 0 for refused/unprocessed requests. */
+    double latency = 0.0;
+    /** Micro-batch that served it; -1 for cache hits and refusals. */
+    int64_t batch_id = -1;
+};
+
+} // namespace serve
+} // namespace fastgl

@@ -1,0 +1,523 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "sample/neighbor_sampler.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace fastgl {
+namespace serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Stream tags for derive_seed (arbitrary, fixed forever). */
+constexpr uint64_t kSampleStream = 0x5E31;
+constexpr uint64_t kPresampleStream = 0x5E32;
+
+double
+seconds_since(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** FNV-1a fold of one 64-bit word into the run fingerprint. */
+uint64_t
+fnv(uint64_t h, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xFF;
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+uint64_t
+double_bits(double x)
+{
+    uint64_t bits = 0;
+    std::memcpy(&bits, &x, sizeof(bits));
+    return bits;
+}
+
+} // namespace
+
+struct Server::BatchCost
+{
+    double service = 0.0;  ///< Modelled seconds the device is busy.
+    int64_t uniques = 0;   ///< Distinct nodes after batch dedup.
+    int64_t misses = 0;    ///< Feature rows that crossed PCIe.
+};
+
+Server::Server(const graph::Dataset &dataset, ServerOptions opts,
+               sim::GpuSpec spec)
+    : dataset_(dataset),
+      opts_(std::move(opts)),
+      spec_(std::move(spec)),
+      kernels_(spec_),
+      cost_model_(spec_, compute::ComputePlan::kMemoryAware),
+      table_(1024)
+{
+    FASTGL_CHECK(!opts_.fanouts.empty(), "Server needs >= 1 fanout");
+    if (opts_.model.in_dim == 0)
+        opts_.model.in_dim = dataset.features.dim();
+    if (opts_.model.num_classes == 0)
+        opts_.model.num_classes = dataset.features.num_classes();
+    opts_.model.num_layers = static_cast<int>(opts_.fanouts.size());
+    worker_threads_ = std::max(1, opts_.worker_threads);
+    opts_.queue_depth = std::max<size_t>(1, opts_.queue_depth);
+
+    // Hotness ranking: shared by the feature cache and (through
+    // popularity()) the load generator, so hot traffic and hot cache
+    // rows describe the same nodes — as they do in a deployed system
+    // whose cache is refilled from live access frequencies.
+    if (opts_.cache_policy == match::CachePolicy::kDegree) {
+        ranking_ = match::degree_ranking(dataset_.graph);
+    } else {
+        // GNNLab-style presample: run a few training batches through
+        // the sampler and rank nodes by appearance frequency. The
+        // presample draws from its own derived streams, never shared
+        // with serving requests.
+        const graph::NodeId n = dataset_.graph.num_nodes();
+        std::vector<int64_t> freq(static_cast<size_t>(n), 0);
+        sample::NeighborSamplerOptions nopts;
+        nopts.fanouts = opts_.fanouts;
+        nopts.seed = opts_.seed + 101;
+        sample::NeighborSampler sampler(dataset_.graph, nopts);
+        const size_t batch =
+            std::max<size_t>(1, static_cast<size_t>(
+                                    dataset_.batch_size));
+        const auto &train = dataset_.train_nodes;
+        const size_t batches =
+            std::min<size_t>(4, (train.size() + batch - 1) / batch);
+        for (size_t b = 0; b < batches; ++b) {
+            const size_t begin = b * batch;
+            const size_t end = std::min(train.size(), begin + batch);
+            const sample::SampledSubgraph sg = sampler.sample(
+                std::span<const graph::NodeId>(train.data() + begin,
+                                               end - begin),
+                util::derive_seed(opts_.seed, kPresampleStream, b));
+            for (graph::NodeId u : sg.nodes)
+                ++freq[static_cast<size_t>(u)];
+        }
+        ranking_ = match::presample_ranking(freq);
+    }
+
+    const auto n = static_cast<int64_t>(dataset_.graph.num_nodes());
+    if (opts_.feature_cache_ratio > 0.0) {
+        feature_rows_ = std::clamp<int64_t>(
+            static_cast<int64_t>(opts_.feature_cache_ratio *
+                                 static_cast<double>(n)),
+            0, n);
+        if (feature_rows_ > 0)
+            feature_cache_.emplace(dataset_.graph.num_nodes(), ranking_,
+                                   feature_rows_);
+    }
+    embedding_opts_ = opts_.embedding;
+    if (embedding_opts_.capacity_rows < 0)
+        embedding_opts_.capacity_rows = std::max<int64_t>(1, n / 10);
+
+    table_.set_touched_tracking(true);
+}
+
+Server::BatchCost
+Server::cost_batch(const std::vector<PendingRequest> &batch)
+{
+    size_t hint = 0;
+    for (const PendingRequest &pr : batch)
+        hint += pr.subgraph.nodes.size();
+    table_.reset(hint);
+    const uint64_t probes_before = table_.probes();
+
+    // Batch dedup: the union of all member ego-nets gets one dense
+    // local-ID space (the Fused-Map pass of the batch), so a node two
+    // requests share is gathered and shipped once.
+    int64_t instances = 0;
+    int64_t uniq_sum = 0;
+    int64_t edges = 0;
+    uint64_t topo_bytes = 0;
+    double compute_sum = 0.0;
+    for (const PendingRequest &pr : batch) {
+        table_.insert_stream(pr.subgraph.nodes);
+        instances += pr.subgraph.num_nodes();
+        uniq_sum += pr.subgraph.num_nodes();
+        edges += pr.subgraph.edges_examined;
+        topo_bytes += pr.subgraph.topology_bytes();
+        const compute::ComputeCost cc =
+            cost_model_.training_step(opts_.model, pr.subgraph);
+        compute_sum += cc.forward + cc.preprocess;
+    }
+    BatchCost cost;
+    cost.uniques = table_.size();
+
+    // --- Modelled phases, all from measured counts ---
+    const double sample_s = kernels_.sample_gpu(edges);
+    sim::IdMapWorkload idw;
+    idw.instances = instances;
+    idw.uniques = cost.uniques;
+    idw.probes =
+        static_cast<int64_t>(table_.probes() - probes_before);
+    const double id_map_s = kernels_.id_map_fused(idw);
+
+    const std::vector<graph::NodeId> unique_nodes =
+        table_.local_to_global();
+    cost.misses = feature_cache_
+                      ? feature_cache_->lookup_batch(unique_nodes)
+                      : cost.uniques;
+    const uint64_t row_bytes = dataset_.features.row_bytes();
+    const uint64_t feature_bytes =
+        static_cast<uint64_t>(cost.misses) * row_bytes;
+    const uint64_t bytes = feature_bytes + topo_bytes;
+    const double io_s =
+        spec_.pcie_latency +
+        static_cast<double>(bytes) / spec_.pcie_bw +
+        static_cast<double>(feature_bytes) / spec_.host_gather_bw;
+
+    // Inference is the forward pass only; the dedup factor credits the
+    // aggregation work the shared local-ID space avoids recomputing.
+    const double dedup =
+        uniq_sum > 0 ? static_cast<double>(cost.uniques) /
+                           static_cast<double>(uniq_sum)
+                     : 1.0;
+    cost.service = sample_s + id_map_s + io_s + compute_sum * dedup;
+    return cost;
+}
+
+std::vector<InferenceResponse>
+Server::serve(const std::vector<InferenceRequest> &trace)
+{
+    stats_ = ServingStats{};
+    const Clock::time_point wall_start = Clock::now();
+    const size_t total = trace.size();
+
+    std::vector<InferenceResponse> responses(total);
+    for (size_t i = 0; i < total; ++i) {
+        FASTGL_CHECK(trace[i].id == static_cast<int64_t>(i),
+                     "serve() needs dense trace ids 0..n-1 in order");
+        responses[i].request_id = trace[i].id;
+    }
+
+    struct Sampled
+    {
+        size_t index = 0;
+        sample::SampledSubgraph sg;
+    };
+    util::BoundedQueue<size_t> work_queue(opts_.queue_depth);
+    util::BoundedQueue<Sampled> done_queue(opts_.queue_depth);
+    shutdown_.begin_run([&work_queue, &done_queue] {
+        work_queue.close();
+        done_queue.close();
+    });
+
+    std::mutex error_mu;
+    std::exception_ptr first_error;
+    auto fail = [&](std::exception_ptr error) {
+        {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (!first_error)
+                first_error = error;
+        }
+        work_queue.fail(error);
+        done_queue.fail(error);
+    };
+
+    // ---- Virtual-clock state, owned by the sequencer thread and ----
+    // ---- read by the main thread only after the join.           ----
+    struct VirtualState
+    {
+        double gpu_free_at = 0.0;
+        double last_event = 0.0;
+        double busy = 0.0;
+        int64_t batch_members = 0;
+        size_t processed = 0;
+        std::deque<double> inflight; ///< Completion times, monotone.
+        uint64_t fingerprint = 0xCBF29CE484222325ULL;
+        ServingStats tallies; ///< Counter/latency fields only.
+    } vs;
+    EmbeddingCache embeddings(embedding_opts_);
+    DynamicBatcher batcher(opts_.batcher);
+    if (feature_cache_)
+        feature_cache_->reset_stats();
+
+    auto respond = [&](const InferenceRequest &req, Outcome outcome,
+                       double completion, int64_t batch_id) {
+        InferenceResponse &resp =
+            responses[static_cast<size_t>(req.id)];
+        resp.outcome = outcome;
+        resp.batch_id = batch_id;
+        if (is_served(outcome)) {
+            resp.completion = completion;
+            resp.latency = completion - req.arrival;
+            vs.tallies.latencies.add(resp.latency);
+            ++vs.tallies.served;
+            if (outcome == Outcome::kServedLate)
+                ++vs.tallies.served_late;
+            if (outcome == Outcome::kEmbeddingHit)
+                ++vs.tallies.embedding_hits;
+            vs.last_event = std::max(vs.last_event, completion);
+        } else if (outcome == Outcome::kShedQueue) {
+            ++vs.tallies.shed_queue;
+        } else if (outcome == Outcome::kDroppedDeadline) {
+            ++vs.tallies.dropped_deadline;
+        }
+        vs.fingerprint = fnv(vs.fingerprint,
+                             static_cast<uint64_t>(req.id));
+        vs.fingerprint =
+            fnv(vs.fingerprint, static_cast<uint64_t>(outcome));
+        vs.fingerprint = fnv(vs.fingerprint, double_bits(resp.latency));
+    };
+
+    auto dispatch = [&](double at) {
+        const std::vector<PendingRequest> batch = batcher.take();
+        const int64_t batch_id = vs.tallies.batches++;
+        const double start = std::max(vs.gpu_free_at, at);
+        const BatchCost cost = cost_batch(batch);
+        const double completion = start + cost.service;
+        vs.gpu_free_at = completion;
+        vs.busy += cost.service;
+        vs.batch_members += static_cast<int64_t>(batch.size());
+        vs.fingerprint = fnv(vs.fingerprint,
+                             static_cast<uint64_t>(batch_id));
+        vs.fingerprint = fnv(vs.fingerprint, batch.size());
+        vs.fingerprint = fnv(vs.fingerprint,
+                             static_cast<uint64_t>(cost.uniques));
+        vs.fingerprint = fnv(vs.fingerprint,
+                             static_cast<uint64_t>(cost.misses));
+        vs.fingerprint = fnv(vs.fingerprint, double_bits(completion));
+        for (const PendingRequest &pr : batch) {
+            respond(pr.request,
+                    completion > pr.request.deadline
+                        ? Outcome::kServedLate
+                        : Outcome::kServed,
+                    completion, batch_id);
+            vs.inflight.push_back(completion);
+            for (graph::NodeId node : pr.request.targets)
+                embeddings.update(node, completion);
+        }
+    };
+
+    auto on_request = [&](Sampled sampled) {
+        const InferenceRequest &req = trace[sampled.index];
+        const double now = req.arrival;
+        vs.last_event = std::max(vs.last_event, now);
+
+        // Wait-triggered batch closes that fall before this arrival.
+        while (!batcher.empty() && batcher.close_time() <= now)
+            dispatch(batcher.close_time());
+        // Retire requests whose batches completed by now.
+        while (!vs.inflight.empty() && vs.inflight.front() <= now)
+            vs.inflight.pop_front();
+
+        // Embedding cache: a request whose every target has a fresh
+        // embedding skips sampling, PCIe, and compute entirely.
+        bool all_fresh = embeddings.enabled() && !req.targets.empty();
+        for (graph::NodeId node : req.targets)
+            all_fresh = embeddings.lookup(node, now) && all_fresh;
+        if (all_fresh) {
+            respond(req, Outcome::kEmbeddingHit,
+                    now + spec_.kernel_launch_latency, -1);
+            return;
+        }
+
+        // Admission control.
+        const int64_t pending =
+            static_cast<int64_t>(batcher.size() + vs.inflight.size());
+        if (opts_.admission.max_pending > 0 &&
+            pending >= opts_.admission.max_pending) {
+            respond(req, Outcome::kShedQueue, 0.0, -1);
+            return;
+        }
+        if (opts_.admission.early_drop &&
+            std::max(vs.gpu_free_at, now) >= req.deadline) {
+            respond(req, Outcome::kDroppedDeadline, 0.0, -1);
+            return;
+        }
+
+        batcher.admit({req, std::move(sampled.sg)}, now);
+        if (batcher.full())
+            dispatch(now);
+    };
+
+    std::mutex merge_mu; ///< Guards stats_.worker_sample_seconds.
+
+    auto worker = [&] {
+        util::SampleStat local;
+        try {
+            sample::NeighborSamplerOptions nopts;
+            nopts.fanouts = opts_.fanouts;
+            nopts.seed = opts_.seed + 101;
+            sample::NeighborSampler sampler(dataset_.graph, nopts);
+            for (;;) {
+                const std::optional<size_t> index = work_queue.pop();
+                if (!index)
+                    break; // closed and drained
+                const InferenceRequest &req = trace[*index];
+                if (opts_.sample_hook)
+                    opts_.sample_hook(req.id);
+                const Clock::time_point t0 = Clock::now();
+                Sampled sampled;
+                sampled.index = *index;
+                sampled.sg = sampler.sample(
+                    req.targets,
+                    util::derive_seed(opts_.seed, kSampleStream,
+                                      static_cast<uint64_t>(req.id)));
+                local.add(seconds_since(t0));
+                if (!done_queue.push(std::move(sampled)))
+                    break; // closed (stop) or failed
+            }
+        } catch (...) {
+            fail(std::current_exception());
+        }
+        std::lock_guard<std::mutex> lock(merge_mu);
+        stats_.worker_sample_seconds.merge(local);
+    };
+
+    auto sequencer = [&] {
+        try {
+            // Reassembly ring: workers finish out of order, the event
+            // machine replays strictly in arrival order (the same
+            // discipline as AsyncPipeline's per-GPU window sequencer).
+            size_t cap = opts_.queue_depth * 2 +
+                         static_cast<size_t>(worker_threads_) + 1;
+            std::vector<Sampled> ring(cap);
+            std::vector<char> parked(cap, 0);
+            size_t next = 0;
+            while (next < total) {
+                std::optional<Sampled> item = done_queue.pop();
+                if (!item)
+                    break; // closed (stop) and drained
+                const size_t index = item->index;
+                FASTGL_CHECK(index >= next,
+                             "request sequence number regressed");
+                if (index - next >= cap) {
+                    // Grow the ring (rare: one worker lagging far
+                    // behind); re-home parked items.
+                    size_t bigger = cap;
+                    while (index - next >= bigger)
+                        bigger *= 2;
+                    std::vector<Sampled> grown(bigger);
+                    std::vector<char> grown_parked(bigger, 0);
+                    for (size_t i = 0; i < cap; ++i) {
+                        if (!parked[i])
+                            continue;
+                        const size_t slot = ring[i].index % bigger;
+                        grown[slot] = std::move(ring[i]);
+                        grown_parked[slot] = 1;
+                    }
+                    ring.swap(grown);
+                    parked.swap(grown_parked);
+                    cap = bigger;
+                }
+                const size_t slot = index % cap;
+                ring[slot] = std::move(*item);
+                parked[slot] = 1;
+                while (next < total && parked[next % cap]) {
+                    const size_t head = next % cap;
+                    Sampled sampled = std::move(ring[head]);
+                    ring[head] = Sampled{};
+                    parked[head] = 0;
+                    ++next;
+                    on_request(std::move(sampled));
+                }
+            }
+            vs.processed = next;
+            if (next == total) {
+                // Trace exhausted: let the wait timer run out on the
+                // final partial batch.
+                while (!batcher.empty())
+                    dispatch(batcher.close_time());
+            }
+        } catch (...) {
+            fail(std::current_exception());
+        }
+    };
+
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(worker_threads_));
+    for (int i = 0; i < worker_threads_; ++i)
+        workers.emplace_back(worker);
+    std::thread sequencer_thread(sequencer);
+
+    // The run() caller is the feeder stage.
+    for (size_t i = 0; i < total; ++i) {
+        if (!work_queue.push(i))
+            break; // closed (stop) or failed
+    }
+    work_queue.close();
+    for (std::thread &t : workers)
+        t.join();
+    done_queue.close();
+    sequencer_thread.join();
+
+    stats_.wall_seconds = seconds_since(wall_start);
+    stats_.stopped_early = shutdown_.stop_requested();
+    shutdown_.end_run();
+    {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error)
+            std::rethrow_exception(first_error);
+    }
+
+    // ---- Fold the virtual world into the report (post-join; the ----
+    // ---- sequencer thread is gone, so plain reads are safe).    ----
+    ServingStats &st = stats_;
+    const ServingStats &tl = vs.tallies;
+    st.offered = static_cast<int64_t>(vs.processed);
+    st.served = tl.served;
+    st.served_late = tl.served_late;
+    st.embedding_hits = tl.embedding_hits;
+    st.shed_queue = tl.shed_queue;
+    st.dropped_deadline = tl.dropped_deadline;
+    st.batches = tl.batches;
+    st.mean_batch_size =
+        st.batches ? static_cast<double>(vs.batch_members) /
+                         static_cast<double>(st.batches)
+                   : 0.0;
+    st.makespan = vs.last_event;
+    st.throughput_rps =
+        st.makespan > 0.0
+            ? static_cast<double>(st.served) / st.makespan
+            : 0.0;
+    st.goodput_rps =
+        st.makespan > 0.0
+            ? static_cast<double>(st.served - st.served_late) /
+                  st.makespan
+            : 0.0;
+    st.latencies = tl.latencies;
+    st.mean_latency = st.latencies.mean();
+    const double ps[] = {50.0, 95.0, 99.0};
+    const std::vector<double> pct = st.latencies.percentiles(ps);
+    st.p50_latency = pct[0];
+    st.p95_latency = pct[1];
+    st.p99_latency = pct[2];
+    st.shed_rate =
+        st.offered
+            ? static_cast<double>(st.shed_queue + st.dropped_deadline) /
+                  static_cast<double>(st.offered)
+            : 0.0;
+    if (feature_cache_) {
+        st.feature_hits = feature_cache_->hits();
+        st.feature_misses = feature_cache_->misses();
+        st.feature_hit_rate = feature_cache_->hit_rate();
+    }
+    st.embedding_hit_rate = embeddings.hit_rate();
+    st.gpu_busy_seconds = vs.busy;
+    st.gpu_utilization =
+        st.makespan > 0.0 ? vs.busy / st.makespan : 0.0;
+    st.fingerprint = vs.fingerprint;
+    st.work_queue = work_queue.stats();
+    st.done_queue = done_queue.stats();
+    return responses;
+}
+
+} // namespace serve
+} // namespace fastgl

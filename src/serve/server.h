@@ -1,0 +1,228 @@
+/**
+ * @file
+ * The online GNN inference server (fastgl::serve) — the trained-model
+ * substrate (samplers, Fused-Map, feature cache, device model) turned
+ * into a request/response service with dynamic micro-batching, an
+ * embedding cache, and SLO-aware admission control.
+ *
+ * Two clocks coexist, exactly as in core::AsyncPipeline:
+ *
+ *  - the *virtual* clock: request arrivals, batch close times, queue
+ *    depths, admission decisions, and every latency a client observes
+ *    are modelled seconds produced by sim::KernelModel and the PCIe
+ *    constants from *measured* counts (edges examined, hash probes,
+ *    cache misses). This world is bit-identical across runs and worker
+ *    thread counts;
+ *  - the *measured* host wall clock: worker threads really sample
+ *    ego-nets concurrently over util::BoundedQueue, and ServingStats
+ *    reports how long that took. These numbers vary run to run and
+ *    never feed back into the virtual world.
+ *
+ * Stage graph (arrows are BoundedQueues):
+ *
+ *   feeder ──ids──> sampler workers ──ego-nets──> sequencer
+ *   (run() thread)   (per-thread sampler,          (in-order virtual-
+ *                     per-request RNG stream)       time event machine)
+ *
+ * The sequencer replays requests in arrival order and runs the entire
+ * virtual-time state machine — batcher, caches, admission — alone, the
+ * same single-writer discipline that keeps the training pipeline's
+ * Match/Reorder chain deterministic. Workers sample every request's
+ * ego-net speculatively, before admission is decided: the per-request
+ * RNG streams make that safe (a shed request's subgraph is simply
+ * discarded) and it keeps the expensive host work off the sequencer.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "compute/compute_cost.h"
+#include "graph/datasets.h"
+#include "match/feature_cache.h"
+#include "sample/fused_hash_table.h"
+#include "serve/batcher.h"
+#include "serve/embedding_cache.h"
+#include "serve/request.h"
+#include "sim/gpu_spec.h"
+#include "sim/kernel_model.h"
+#include "util/bounded_queue.h"
+#include "util/shutdown.h"
+#include "util/stats.h"
+
+namespace fastgl {
+namespace serve {
+
+/** SLO protection: refuse work the server cannot serve in time. */
+struct AdmissionPolicy
+{
+    /**
+     * Queue-depth shedding: refuse a request when this many admitted
+     * requests are still pending (batching or dispatched, not yet
+     * complete in virtual time). <= 0 disables shedding — the pending
+     * queue then grows without bound under overload.
+     */
+    int64_t max_pending = 64;
+    /**
+     * Deadline-based early drop: refuse a request whose deadline
+     * would already have passed before the device backlog lets it
+     * start executing (serving it late helps nobody).
+     */
+    bool early_drop = true;
+};
+
+/** Everything configurable about one serving run. */
+struct ServerOptions
+{
+    /** Host sampler worker threads (no effect on modelled results). */
+    int worker_threads = 2;
+    /** Capacity of the two hand-over queues (backpressure bound). */
+    size_t queue_depth = 8;
+    /** Per-layer sampling fanouts, input layer first (as training). */
+    std::vector<int> fanouts = {5, 10, 15};
+    /** Served model; in_dim/num_classes 0 = resolve from the dataset. */
+    compute::ModelConfig model;
+    BatcherPolicy batcher;
+    AdmissionPolicy admission;
+    /**
+     * Layer-0 feature cache capacity as a fraction of all nodes;
+     * 0 disables the feature cache.
+     */
+    double feature_cache_ratio = 0.2;
+    /** Hotness ranking that fills the feature cache. */
+    match::CachePolicy cache_policy = match::CachePolicy::kDegree;
+    EmbeddingCacheOptions embedding;
+    uint64_t seed = 1;
+
+    // --- Test hooks (no-ops when unset; not for production use) ---
+    /** Called in a worker thread before sampling request @p id. */
+    std::function<void(int64_t id)> sample_hook;
+};
+
+/** Statistics of one serving run (one trace through Server::serve). */
+struct ServingStats
+{
+    // --- Virtual-clock / modelled (bit-identical across runs) ---
+    int64_t offered = 0;          ///< Requests in the trace (processed).
+    int64_t served = 0;           ///< Any served outcome, incl. late.
+    int64_t served_late = 0;      ///< Served after the deadline.
+    int64_t embedding_hits = 0;   ///< Answered from the embedding cache.
+    int64_t shed_queue = 0;       ///< Refused: pending queue too deep.
+    int64_t dropped_deadline = 0; ///< Refused: could not start in time.
+    int64_t batches = 0;          ///< Micro-batches dispatched.
+    double mean_batch_size = 0.0; ///< Requests per dispatched batch.
+    /** Virtual time of the last event (completion or arrival). */
+    double makespan = 0.0;
+    double throughput_rps = 0.0;  ///< served / makespan.
+    /** Served within deadline, per virtual second. */
+    double goodput_rps = 0.0;
+    double mean_latency = 0.0;    ///< Over served requests.
+    double p50_latency = 0.0;
+    double p95_latency = 0.0;
+    double p99_latency = 0.0;
+    /** Refused fraction of offered load (shed + dropped). */
+    double shed_rate = 0.0;
+    int64_t feature_hits = 0;     ///< Layer-0 cache rows not shipped.
+    int64_t feature_misses = 0;
+    double feature_hit_rate = 0.0;
+    double embedding_hit_rate = 0.0;
+    /** Modelled device busy seconds and busy fraction of makespan. */
+    double gpu_busy_seconds = 0.0;
+    double gpu_utilization = 0.0;
+    /**
+     * Order-sensitive digest of every admission decision, batch
+     * composition, and modelled latency bit pattern — two runs agree
+     * iff this agrees (the determinism tests' one-number witness).
+     */
+    uint64_t fingerprint = 0;
+    bool stopped_early = false;   ///< request_stop() cut the run short.
+    /** Virtual latencies of served requests (for custom percentiles). */
+    util::SampleStat latencies;
+
+    // --- Measured host-side (vary run to run; never fed back) ---
+    double wall_seconds = 0.0;
+    /** Host seconds per ego-net sample, merged from per-thread stats. */
+    util::SampleStat worker_sample_seconds;
+    util::QueueStats work_queue;
+    util::QueueStats done_queue;
+};
+
+/** Online inference server over one dataset replica. */
+class Server
+{
+  public:
+    Server(const graph::Dataset &dataset, ServerOptions opts,
+           sim::GpuSpec spec = sim::rtx3090());
+
+    /**
+     * Serve @p trace (arrival-ordered, dense ids from 0 — what
+     * LoadGenerator::generate produces). Blocks until the trace is
+     * processed or request_stop() aborts it; returns one response per
+     * request, trace order. Each call starts with cold caches, so the
+     * same trace always produces the same responses.
+     */
+    std::vector<InferenceResponse>
+    serve(const std::vector<InferenceRequest> &trace);
+
+    /**
+     * Ask a running serve() to wind down cleanly: queues close, stages
+     * finish their current item and exit, serve() returns responses
+     * for the prefix it finished (the rest stay kUnprocessed). Safe
+     * from any thread; idempotent.
+     */
+    void request_stop() { shutdown_.request_stop(); }
+
+    /** True once request_stop() was called for the current run. */
+    bool stop_requested() const { return shutdown_.stop_requested(); }
+
+    /** Statistics of the most recent serve() call. */
+    const ServingStats &last_stats() const { return stats_; }
+
+    /**
+     * Node popularity order (hottest first) backing the feature cache;
+     * hand this to LoadGenerator so traffic skew and cache contents
+     * align the way real serving workloads do.
+     */
+    const std::vector<graph::NodeId> &popularity() const
+    {
+        return ranking_;
+    }
+
+    int worker_threads() const { return worker_threads_; }
+    int64_t feature_cache_rows() const { return feature_rows_; }
+    int64_t embedding_cache_rows() const
+    {
+        return embedding_opts_.capacity_rows;
+    }
+    const ServerOptions &options() const { return opts_; }
+
+  private:
+    struct BatchCost;
+
+    /** Modelled service seconds of one closed micro-batch. */
+    BatchCost cost_batch(const std::vector<PendingRequest> &batch);
+
+    const graph::Dataset &dataset_;
+    ServerOptions opts_;
+    sim::GpuSpec spec_;
+    sim::KernelModel kernels_;
+    compute::ComputeCostModel cost_model_;
+    std::vector<graph::NodeId> ranking_;
+    std::optional<match::StaticFeatureCache> feature_cache_;
+    int64_t feature_rows_ = 0;
+    EmbeddingCacheOptions embedding_opts_; ///< capacity resolved.
+    int worker_threads_ = 1;
+    /**
+     * Batch-level ID dedup table, reused across dispatches (sequencer
+     * only — touched-slot reset keeps per-batch cost proportional to
+     * batch uniques, as in the samplers).
+     */
+    sample::FusedHashTable table_;
+    util::StageShutdown shutdown_;
+    ServingStats stats_;
+};
+
+} // namespace serve
+} // namespace fastgl

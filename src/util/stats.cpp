@@ -22,6 +22,40 @@ SampleStat::percentile(double p)
     return samples_[rank - 1];
 }
 
+std::vector<double>
+SampleStat::percentiles(std::span<const double> ps)
+{
+    std::vector<double> out;
+    out.reserve(ps.size());
+    if (samples_.empty()) {
+        out.assign(ps.size(), 0.0);
+        return out;
+    }
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    for (double p : ps) {
+        p = std::clamp(p, 0.0, 100.0);
+        size_t rank = static_cast<size_t>(std::ceil(
+            p / 100.0 * static_cast<double>(samples_.size())));
+        if (rank == 0)
+            rank = 1;
+        out.push_back(samples_[rank - 1]);
+    }
+    return out;
+}
+
+void
+SampleStat::merge(const SampleStat &other)
+{
+    if (other.samples_.empty())
+        return;
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+}
+
 namespace {
 
 std::string

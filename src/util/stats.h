@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -90,6 +91,21 @@ class SampleStat
 
     /** Exact percentile via nearest-rank; @p p in [0,100]. */
     double percentile(double p);
+
+    /**
+     * Nearest-rank percentiles for every value of @p ps in one pass:
+     * the samples are sorted once, not once per percentile, which is
+     * what latency reports (p50/p95/p99 over the same window) want.
+     * @return one value per entry of @p ps, in the same order.
+     */
+    std::vector<double> percentiles(std::span<const double> ps);
+
+    /**
+     * Fold @p other's samples into this accumulator — the reduction
+     * step for per-thread statistics (each worker records locally,
+     * the owner merges after the join, no locking on the hot path).
+     */
+    void merge(const SampleStat &other);
 
     void clear() { samples_.clear(); sorted_ = false; }
 

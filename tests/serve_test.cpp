@@ -1,0 +1,482 @@
+/**
+ * @file
+ * Tests for fastgl::serve — the load generator, dynamic batcher,
+ * embedding cache, and the Server's virtual-clock event machine:
+ * bit-identical serving results across worker thread counts, admission
+ * control engaging under overload instead of latency diverging, and the
+ * modelled benefits of batching and the embedding cache.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "graph/datasets.h"
+#include "serve/batcher.h"
+#include "serve/embedding_cache.h"
+#include "serve/load_generator.h"
+#include "serve/server.h"
+
+namespace fastgl {
+namespace {
+
+const graph::Dataset &
+products()
+{
+    static graph::Dataset ds = [] {
+        graph::ReplicaOptions opts;
+        opts.size_factor = 0.15;
+        opts.materialize_features = false;
+        return graph::load_replica(graph::DatasetId::kProducts, opts);
+    }();
+    return ds;
+}
+
+serve::ServerOptions
+base_server_options()
+{
+    serve::ServerOptions opts;
+    opts.worker_threads = 2;
+    opts.fanouts = {5, 10, 15};
+    opts.seed = 11;
+    return opts;
+}
+
+std::vector<serve::InferenceRequest>
+make_trace(const serve::Server &server, double rate_rps,
+           int64_t num_requests, double slo = 50e-3)
+{
+    serve::LoadGeneratorOptions lopts;
+    lopts.rate_rps = rate_rps;
+    lopts.num_requests = num_requests;
+    lopts.slo_deadline = slo;
+    lopts.seed = 13;
+    serve::LoadGenerator gen(server.popularity(), lopts);
+    return gen.generate();
+}
+
+// ---------------------------------------------------------------------
+// LoadGenerator
+// ---------------------------------------------------------------------
+
+TEST(LoadGenerator, TraceIsDeterministicDenseAndArrivalOrdered)
+{
+    std::vector<graph::NodeId> population(100);
+    for (size_t i = 0; i < population.size(); ++i)
+        population[i] = static_cast<graph::NodeId>(i);
+
+    serve::LoadGeneratorOptions opts;
+    opts.rate_rps = 500.0;
+    opts.num_requests = 256;
+    opts.slo_deadline = 10e-3;
+    opts.seed = 42;
+    serve::LoadGenerator gen(population, opts);
+
+    const auto a = gen.generate();
+    const auto b = gen.generate();
+    ASSERT_EQ(a.size(), 256u);
+    double prev = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, static_cast<int64_t>(i));
+        EXPECT_GE(a[i].arrival, prev); // Poisson arrivals are monotone
+        prev = a[i].arrival;
+        EXPECT_EQ(a[i].deadline, a[i].arrival + opts.slo_deadline);
+        ASSERT_EQ(a[i].targets.size(), 1u);
+        // Bitwise repeatability.
+        EXPECT_EQ(a[i].arrival, b[i].arrival);
+        EXPECT_EQ(a[i].targets, b[i].targets);
+    }
+    // Mean arrival gap tracks the offered rate (law of large numbers;
+    // generous tolerance keeps this deterministic check robust).
+    const double mean_gap = a.back().arrival / double(a.size() - 1);
+    EXPECT_NEAR(mean_gap, 1.0 / opts.rate_rps, 0.5 / opts.rate_rps);
+}
+
+TEST(LoadGenerator, HotTrafficConcentratesOnHeadOfPopulation)
+{
+    std::vector<graph::NodeId> population(1000);
+    for (size_t i = 0; i < population.size(); ++i)
+        population[i] = static_cast<graph::NodeId>(i);
+
+    serve::LoadGeneratorOptions opts;
+    opts.num_requests = 4000;
+    opts.hot_fraction = 0.10;
+    opts.hot_traffic = 0.80;
+    opts.seed = 7;
+    serve::LoadGenerator gen(population, opts);
+
+    int64_t hot = 0, total = 0;
+    for (const auto &req : gen.generate()) {
+        for (graph::NodeId t : req.targets) {
+            hot += t < 100 ? 1 : 0; // first 10% of the population
+            ++total;
+        }
+    }
+    // 80% of draws target the hot set directly, plus the uniform tail's
+    // incidental 10% x 20%: expect ~82%, assert comfortably above the
+    // 10% a uniform generator would give.
+    EXPECT_GT(double(hot) / double(total), 0.6);
+}
+
+TEST(LoadGenerator, TargetsPerRequestAreDistinct)
+{
+    std::vector<graph::NodeId> population(50);
+    for (size_t i = 0; i < population.size(); ++i)
+        population[i] = static_cast<graph::NodeId>(i);
+
+    serve::LoadGeneratorOptions opts;
+    opts.num_requests = 200;
+    opts.targets_per_request = 4;
+    serve::LoadGenerator gen(population, opts);
+    for (const auto &req : gen.generate()) {
+        std::set<graph::NodeId> uniq(req.targets.begin(),
+                                     req.targets.end());
+        EXPECT_EQ(uniq.size(), req.targets.size());
+    }
+}
+
+// ---------------------------------------------------------------------
+// DynamicBatcher
+// ---------------------------------------------------------------------
+
+serve::PendingRequest
+pending(int64_t id, double arrival)
+{
+    serve::PendingRequest pr;
+    pr.request.id = id;
+    pr.request.arrival = arrival;
+    return pr;
+}
+
+TEST(DynamicBatcher, SizeTriggerClosesWhenFull)
+{
+    serve::BatcherPolicy policy;
+    policy.max_batch = 3;
+    policy.max_wait = 1.0;
+    serve::DynamicBatcher batcher(policy);
+
+    EXPECT_TRUE(batcher.empty());
+    EXPECT_EQ(batcher.close_time(),
+              std::numeric_limits<double>::infinity());
+    batcher.admit(pending(0, 0.10), 0.10);
+    batcher.admit(pending(1, 0.12), 0.12);
+    EXPECT_FALSE(batcher.full());
+    batcher.admit(pending(2, 0.13), 0.13);
+    EXPECT_TRUE(batcher.full());
+
+    const auto batch = batcher.take();
+    ASSERT_EQ(batch.size(), 3u);
+    // Admission order preserved.
+    EXPECT_EQ(batch[0].request.id, 0);
+    EXPECT_EQ(batch[2].request.id, 2);
+    EXPECT_TRUE(batcher.empty());
+}
+
+TEST(DynamicBatcher, WaitTriggerTracksOldestMember)
+{
+    serve::BatcherPolicy policy;
+    policy.max_batch = 100;
+    policy.max_wait = 5e-3;
+    serve::DynamicBatcher batcher(policy);
+
+    batcher.admit(pending(0, 1.000), 1.000);
+    batcher.admit(pending(1, 1.004), 1.004);
+    // close_time is anchored to the *first* admission.
+    EXPECT_DOUBLE_EQ(batcher.close_time(), 1.005);
+    batcher.take();
+    // The next batch re-anchors.
+    batcher.admit(pending(2, 2.000), 2.000);
+    EXPECT_DOUBLE_EQ(batcher.close_time(), 2.005);
+}
+
+TEST(DynamicBatcher, ZeroWaitDisablesCoalescing)
+{
+    serve::BatcherPolicy policy;
+    policy.max_batch = 1;
+    policy.max_wait = 0.0;
+    serve::DynamicBatcher batcher(policy);
+    batcher.admit(pending(0, 0.5), 0.5);
+    EXPECT_TRUE(batcher.full()); // dispatches immediately
+    EXPECT_DOUBLE_EQ(batcher.close_time(), 0.5);
+}
+
+// ---------------------------------------------------------------------
+// EmbeddingCache
+// ---------------------------------------------------------------------
+
+TEST(EmbeddingCache, LruEvictsColdestAndStalenessExpires)
+{
+    serve::EmbeddingCacheOptions opts;
+    opts.capacity_rows = 2;
+    opts.staleness = 1.0;
+    serve::EmbeddingCache cache(opts);
+
+    cache.update(10, 0.0);
+    cache.update(20, 0.1);
+    EXPECT_TRUE(cache.lookup(10, 0.5));
+    // Node 20 is now LRU; inserting 30 evicts it.
+    cache.update(30, 0.6);
+    EXPECT_EQ(cache.size(), 2);
+    EXPECT_FALSE(cache.lookup(20, 0.7));
+    EXPECT_TRUE(cache.lookup(30, 0.7));
+    // Staleness: node 10 was computed at 0.0; at t=1.5 it is stale.
+    EXPECT_FALSE(cache.lookup(10, 1.5));
+    // update() refreshes the timestamp.
+    cache.update(30, 2.0);
+    EXPECT_TRUE(cache.lookup(30, 2.9));
+    EXPECT_GT(cache.hits(), 0);
+    EXPECT_GT(cache.misses(), 0);
+}
+
+TEST(EmbeddingCache, ZeroCapacityDisables)
+{
+    serve::EmbeddingCacheOptions opts;
+    opts.capacity_rows = 0;
+    serve::EmbeddingCache cache(opts);
+    EXPECT_FALSE(cache.enabled());
+    cache.update(1, 0.0);
+    EXPECT_FALSE(cache.lookup(1, 0.0));
+    EXPECT_EQ(cache.size(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Server: determinism
+// ---------------------------------------------------------------------
+
+void
+expect_identical_serving(const serve::ServingStats &a,
+                         const serve::ServingStats &b)
+{
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+    EXPECT_EQ(a.offered, b.offered);
+    EXPECT_EQ(a.served, b.served);
+    EXPECT_EQ(a.served_late, b.served_late);
+    EXPECT_EQ(a.embedding_hits, b.embedding_hits);
+    EXPECT_EQ(a.shed_queue, b.shed_queue);
+    EXPECT_EQ(a.dropped_deadline, b.dropped_deadline);
+    EXPECT_EQ(a.batches, b.batches);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.p50_latency, b.p50_latency);
+    EXPECT_EQ(a.p99_latency, b.p99_latency);
+    EXPECT_EQ(a.feature_hits, b.feature_hits);
+    EXPECT_EQ(a.feature_misses, b.feature_misses);
+    EXPECT_EQ(a.gpu_busy_seconds, b.gpu_busy_seconds);
+}
+
+TEST(Serve, BitIdenticalAcrossWorkerThreadCounts)
+{
+    auto opts = base_server_options();
+    opts.worker_threads = 1;
+    serve::Server reference_server(products(), opts);
+    const auto trace = make_trace(reference_server, 3000.0, 384);
+    const auto reference = reference_server.serve(trace);
+    const serve::ServingStats ref_stats = reference_server.last_stats();
+    EXPECT_GT(ref_stats.served, 0);
+
+    for (int threads : {4, 8}) {
+        auto topts = base_server_options();
+        topts.worker_threads = threads;
+        serve::Server server(products(), topts);
+        const auto responses = server.serve(trace);
+        expect_identical_serving(ref_stats, server.last_stats());
+        ASSERT_EQ(responses.size(), reference.size());
+        for (size_t i = 0; i < responses.size(); ++i) {
+            EXPECT_EQ(responses[i].outcome, reference[i].outcome);
+            EXPECT_EQ(responses[i].latency, reference[i].latency);
+            EXPECT_EQ(responses[i].batch_id, reference[i].batch_id);
+        }
+    }
+}
+
+TEST(Serve, RepeatedServeOnOneServerIsBitIdentical)
+{
+    serve::Server server(products(), base_server_options());
+    const auto trace = make_trace(server, 2000.0, 256);
+    server.serve(trace);
+    const serve::ServingStats first = server.last_stats();
+    server.serve(trace); // caches start cold on every call
+    expect_identical_serving(first, server.last_stats());
+}
+
+// ---------------------------------------------------------------------
+// Server: admission control under overload
+// ---------------------------------------------------------------------
+
+TEST(Serve, SheddingBoundsTailLatencyUnderOverload)
+{
+    // An offered rate far beyond capacity. Protected: queue-depth
+    // shedding + deadline drops keep the pending set, and with it the
+    // tail latency, bounded. Unprotected: the backlog grows without
+    // bound and the tail diverges toward the full trace duration.
+    const double rate = 300000.0;
+    const int64_t n = 1024;
+    const double slo = 20e-3;
+
+    auto protected_opts = base_server_options();
+    protected_opts.admission.max_pending = 32;
+    protected_opts.admission.early_drop = true;
+    serve::Server protected_server(products(), protected_opts);
+    const auto trace = make_trace(protected_server, rate, n, slo);
+    protected_server.serve(trace);
+    const serve::ServingStats prot = protected_server.last_stats();
+
+    auto open_opts = base_server_options();
+    open_opts.admission.max_pending = 0; // shedding off
+    open_opts.admission.early_drop = false;
+    serve::Server open_server(products(), open_opts);
+    open_server.serve(trace);
+    const serve::ServingStats open = open_server.last_stats();
+
+    // Overload engages admission control instead of growing the queue.
+    EXPECT_GT(prot.shed_queue + prot.dropped_deadline, 0);
+    EXPECT_GT(prot.shed_rate, 0.0);
+    EXPECT_EQ(open.shed_queue + open.dropped_deadline, 0);
+    EXPECT_EQ(open.served, n);
+
+    // The protected tail is finite and far below the diverging one.
+    EXPECT_TRUE(std::isfinite(prot.p99_latency));
+    EXPECT_GT(prot.p99_latency, 0.0);
+    EXPECT_LT(prot.p99_latency, 0.5 * open.p99_latency);
+}
+
+// ---------------------------------------------------------------------
+// Server: batching and embedding cache pay off
+// ---------------------------------------------------------------------
+
+TEST(Serve, MicroBatchingServesMoreThanNoBatchUnderLoad)
+{
+    const double rate = 20000.0;
+    const int64_t n = 512;
+
+    auto batched_opts = base_server_options();
+    batched_opts.batcher.max_batch = 32;
+    batched_opts.batcher.max_wait = 2e-3;
+    serve::Server batched(products(), batched_opts);
+    const auto trace = make_trace(batched, rate, n);
+    batched.serve(trace);
+    const serve::ServingStats with = batched.last_stats();
+
+    auto single_opts = base_server_options();
+    single_opts.batcher.max_batch = 1; // the no-batching baseline
+    single_opts.batcher.max_wait = 0.0;
+    serve::Server single(products(), single_opts);
+    single.serve(trace);
+    const serve::ServingStats without = single.last_stats();
+
+    EXPECT_GT(with.mean_batch_size, 1.5);
+    EXPECT_DOUBLE_EQ(without.mean_batch_size, 1.0);
+    // Amortized launch/PCIe overhead and batch-level dedup let the
+    // batched server complete more of the same offered load.
+    EXPECT_GT(with.served, without.served);
+    EXPECT_LT(with.shed_rate, without.shed_rate);
+}
+
+TEST(Serve, EmbeddingCacheShortCircuitsHotRepeats)
+{
+    const double rate = 20000.0;
+    const int64_t n = 512;
+
+    auto cached_opts = base_server_options();
+    cached_opts.embedding.capacity_rows = -1; // default n/10
+    cached_opts.embedding.staleness = 1.0;    // generous freshness
+    serve::Server cached(products(), cached_opts);
+    const auto trace = make_trace(cached, rate, n);
+    cached.serve(trace);
+    const serve::ServingStats with = cached.last_stats();
+
+    auto cold_opts = base_server_options();
+    cold_opts.embedding.capacity_rows = 0; // embedding cache off
+    serve::Server cold(products(), cold_opts);
+    cold.serve(trace);
+    const serve::ServingStats without = cold.last_stats();
+
+    // The skewed trace re-requests hot nodes; fresh embeddings answer
+    // those without sampling, PCIe, or compute.
+    EXPECT_GT(with.embedding_hits, 0);
+    EXPECT_EQ(without.embedding_hits, 0);
+    EXPECT_GT(with.embedding_hit_rate, 0.0);
+    // Offloaded work serves at least as many requests within deadline.
+    EXPECT_GE(with.served - with.served_late,
+              without.served - without.served_late);
+    EXPECT_LE(with.gpu_busy_seconds, without.gpu_busy_seconds);
+}
+
+TEST(Serve, FeatureCacheReducesPcieTraffic)
+{
+    serve::Server server(products(), base_server_options());
+    const auto trace = make_trace(server, 2000.0, 256);
+    server.serve(trace);
+    const serve::ServingStats st = server.last_stats();
+    EXPECT_GT(server.feature_cache_rows(), 0);
+    EXPECT_GT(st.feature_hits, 0);
+    EXPECT_GT(st.feature_hit_rate, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Server: lifecycle
+// ---------------------------------------------------------------------
+
+TEST(Serve, RequestStopMidFlightReturnsPrefixWithoutDeadlock)
+{
+    auto opts = base_server_options();
+    opts.worker_threads = 4;
+    serve::Server *handle = nullptr;
+    std::atomic<int> sampled{0};
+    opts.sample_hook = [&](int64_t) {
+        if (sampled.fetch_add(1) == 32)
+            handle->request_stop();
+    };
+    serve::Server server(products(), opts);
+    handle = &server;
+    const auto trace = make_trace(server, 5000.0, 512);
+
+    const auto responses = server.serve(trace); // must return, not hang
+    const serve::ServingStats st = server.last_stats();
+    EXPECT_TRUE(st.stopped_early);
+    EXPECT_TRUE(server.stop_requested());
+    EXPECT_LT(st.offered, 512);
+    ASSERT_EQ(responses.size(), 512u);
+    // The unprocessed suffix is marked as such.
+    EXPECT_EQ(responses.back().outcome, serve::Outcome::kUnprocessed);
+
+    // A fresh serve() after the stop runs to completion.
+    sampled.store(1 << 20);
+    server.serve(trace);
+    EXPECT_FALSE(server.last_stats().stopped_early);
+    EXPECT_EQ(server.last_stats().offered, 512);
+}
+
+TEST(Serve, WorkerExceptionPropagatesToCaller)
+{
+    auto opts = base_server_options();
+    opts.worker_threads = 3;
+    opts.sample_hook = [](int64_t id) {
+        if (id == 40)
+            throw std::runtime_error("sampler worker died");
+    };
+    serve::Server server(products(), opts);
+    const auto trace = make_trace(server, 5000.0, 128);
+    EXPECT_THROW(server.serve(trace), std::runtime_error);
+}
+
+TEST(Serve, StatsAccountHostExecution)
+{
+    auto opts = base_server_options();
+    opts.worker_threads = 2;
+    serve::Server server(products(), opts);
+    const auto trace = make_trace(server, 2000.0, 128);
+    server.serve(trace);
+    const serve::ServingStats st = server.last_stats();
+    EXPECT_GT(st.wall_seconds, 0.0);
+    EXPECT_GT(st.worker_sample_seconds.count(), 0);
+    EXPECT_EQ(st.work_queue.pushed, 128u);
+    EXPECT_LE(st.work_queue.max_depth, server.options().queue_depth);
+    EXPECT_EQ(st.offered, 128);
+    EXPECT_GT(st.throughput_rps, 0.0);
+    EXPECT_GE(st.throughput_rps, st.goodput_rps);
+}
+
+} // namespace
+} // namespace fastgl

@@ -128,6 +128,58 @@ TEST(SampleStat, ExactPercentiles)
     EXPECT_DOUBLE_EQ(stat.percentile(0), 1.0);
 }
 
+TEST(SampleStat, BulkPercentilesMatchScalarAccessor)
+{
+    util::SampleStat stat;
+    util::Rng rng(99);
+    for (int i = 0; i < 1000; ++i)
+        stat.add(rng.next_double() * 1e3);
+
+    const double ps[] = {0.0, 25.0, 50.0, 95.0, 99.0, 100.0};
+    const std::vector<double> bulk = stat.percentiles(ps);
+    ASSERT_EQ(bulk.size(), 6u);
+    for (size_t i = 0; i < bulk.size(); ++i)
+        EXPECT_DOUBLE_EQ(bulk[i], stat.percentile(ps[i]));
+}
+
+TEST(SampleStat, BulkPercentilesOnEmptyAreZero)
+{
+    util::SampleStat stat;
+    const double ps[] = {50.0, 99.0};
+    const std::vector<double> bulk = stat.percentiles(ps);
+    ASSERT_EQ(bulk.size(), 2u);
+    EXPECT_DOUBLE_EQ(bulk[0], 0.0);
+    EXPECT_DOUBLE_EQ(bulk[1], 0.0);
+}
+
+TEST(SampleStat, MergeEqualsSingleAccumulator)
+{
+    // Per-thread accumulators merged afterwards must agree with one
+    // accumulator that saw every sample (the ServingStats reduction).
+    util::SampleStat whole, part_a, part_b, merged;
+    for (int i = 1; i <= 100; ++i) {
+        whole.add(i);
+        (i % 2 ? part_a : part_b).add(i);
+    }
+    merged.merge(part_a);
+    merged.merge(part_b);
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_DOUBLE_EQ(merged.mean(), whole.mean());
+    const double ps[] = {50.0, 95.0, 99.0};
+    EXPECT_EQ(merged.percentiles(ps), whole.percentiles(ps));
+
+    // Merging into a non-empty accumulator appends.
+    part_a.merge(part_b);
+    EXPECT_EQ(part_a.count(), whole.count());
+    EXPECT_DOUBLE_EQ(part_a.percentile(50), whole.percentile(50));
+
+    // Merging an empty accumulator is a no-op (stays sorted).
+    util::SampleStat empty;
+    const double before = merged.percentile(99);
+    merged.merge(empty);
+    EXPECT_DOUBLE_EQ(merged.percentile(99), before);
+}
+
 TEST(HumanFormat, Bytes)
 {
     EXPECT_EQ(util::human_bytes(512), "512.00 B");

@@ -35,7 +35,7 @@ if [[ "${FASTGL_TSAN:-0}" == "1" ]]; then
     run_config build-tsan -DFASTGL_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-        -R 'BoundedQueue|ThreadPool|AsyncPipeline|Determinism'
+        -R 'BoundedQueue|ThreadPool|AsyncPipeline|Determinism|Serve|StageShutdown'
 fi
 
 if [[ "${FASTGL_NO_PERF:-0}" != "1" ]]; then
@@ -51,6 +51,19 @@ if [[ "${FASTGL_NO_PERF:-0}" != "1" ]]; then
     cmake --build build-perf-ci --target bench_ext_hotpath -j "$JOBS"
     ./build-perf-ci/bench/bench_ext_hotpath --smoke \
         | tee BENCH_hotpath.json
+
+    # Serving smoke: sweep the online-inference server and archive the
+    # latency/shedding table. The bench itself gates on its virtual-
+    # clock invariants (batching+caches beat the baseline, shedding
+    # engages under overload) — those are deterministic, so unlike
+    # throughput they are safe to fail CI on. On top of that, check
+    # the archive parses as JSON and every p99 came out finite.
+    echo "==> serving smoke (Release)"
+    cmake --build build-perf-ci --target bench_ext_serving -j "$JOBS"
+    ./build-perf-ci/bench/bench_ext_serving --smoke \
+        | tee BENCH_serving.json
+    python3 -m json.tool BENCH_serving.json > /dev/null
+    grep -q '"all_p99_finite": true' BENCH_serving.json
 fi
 
 echo "==> CI OK"

@@ -6,12 +6,15 @@
  *   model  — run modelled epochs under a framework preset and print the
  *            phase breakdown (the library's main use).
  *   train  — run real numeric training and print the loss curve.
+ *   serve  — run online inference serving over a synthetic Poisson
+ *            trace and print latency/shedding statistics.
  *   info   — print dataset replica statistics.
  *
  * Examples:
  *   fastgl_cli model --dataset products --framework fastgl --gpus 4
  *   fastgl_cli model --dataset papers100m --framework dgl --epochs 3
  *   fastgl_cli train --dataset reddit --model gin --epochs 5
+ *   fastgl_cli serve --dataset products --rate 20000 --requests 2048
  *   fastgl_cli info  --dataset mag
  */
 #include <cstdio>
@@ -173,6 +176,80 @@ run_train(const Args &args)
 }
 
 int
+run_serve(const Args &args)
+{
+    graph::ReplicaOptions ropts;
+    ropts.materialize_features = false;
+    ropts.size_factor = double(args.get_int("scale-pct", 100)) / 100.0;
+    const graph::Dataset ds = graph::load_replica(
+        parse_dataset(args.get("dataset", "products")), ropts);
+
+    serve::ServerOptions sopts;
+    sopts.worker_threads = int(args.get_int("threads", 4));
+    sopts.model.type = parse_model(args.get("model", "gcn"));
+    sopts.batcher.max_batch = int(args.get_int("batch-max", 32));
+    sopts.batcher.max_wait =
+        double(args.get_int("wait-us", 2000)) / 1e6;
+    sopts.admission.max_pending = args.get_int("max-pending", 64);
+    sopts.feature_cache_ratio =
+        double(args.get_int("cache-pct", 20)) / 100.0;
+    sopts.embedding.capacity_rows = args.get_int("embed-rows", -1);
+    sopts.seed = uint64_t(args.get_int("seed", 1));
+    serve::Server server(ds, sopts);
+
+    serve::LoadGeneratorOptions lopts;
+    lopts.rate_rps = double(args.get_int("rate", 20000));
+    lopts.num_requests = args.get_int("requests", 2048);
+    lopts.slo_deadline =
+        double(args.get_int("slo-ms", 20)) / 1e3;
+    lopts.seed = sopts.seed + 1;
+    serve::LoadGenerator gen(server.popularity(), lopts);
+
+    std::printf("serving %s: %lld requests at %.0f rps, SLO %s, "
+                "batch<=%d/%s, %d worker thread(s)\n",
+                ds.name.c_str(),
+                static_cast<long long>(lopts.num_requests),
+                lopts.rate_rps,
+                util::human_seconds(lopts.slo_deadline).c_str(),
+                sopts.batcher.max_batch,
+                util::human_seconds(sopts.batcher.max_wait).c_str(),
+                sopts.worker_threads);
+    server.serve(gen.generate());
+    const serve::ServingStats &st = server.last_stats();
+    std::printf(
+        "  served %lld/%lld (%lld late, %lld embedding hits) | "
+        "shed %lld queue + %lld deadline (%.1f%%)\n",
+        static_cast<long long>(st.served),
+        static_cast<long long>(st.offered),
+        static_cast<long long>(st.served_late),
+        static_cast<long long>(st.embedding_hits),
+        static_cast<long long>(st.shed_queue),
+        static_cast<long long>(st.dropped_deadline),
+        100.0 * st.shed_rate);
+    std::printf("  latency p50 %s, p95 %s, p99 %s, mean %s\n",
+                util::human_seconds(st.p50_latency).c_str(),
+                util::human_seconds(st.p95_latency).c_str(),
+                util::human_seconds(st.p99_latency).c_str(),
+                util::human_seconds(st.mean_latency).c_str());
+    std::printf("  throughput %.1f rps (goodput %.1f) over %s | "
+                "%lld batches, mean size %.1f, GPU busy %.1f%%\n",
+                st.throughput_rps, st.goodput_rps,
+                util::human_seconds(st.makespan).c_str(),
+                static_cast<long long>(st.batches),
+                st.mean_batch_size, 100.0 * st.gpu_utilization);
+    std::printf("  feature cache %.1f%% hit (%lld rows), embedding "
+                "cache %.1f%% hit (%lld rows)\n",
+                100.0 * st.feature_hit_rate,
+                static_cast<long long>(server.feature_cache_rows()),
+                100.0 * st.embedding_hit_rate,
+                static_cast<long long>(server.embedding_cache_rows()));
+    std::printf("  fingerprint 0x%016llx (host wall %s)\n",
+                static_cast<unsigned long long>(st.fingerprint),
+                util::human_seconds(st.wall_seconds).c_str());
+    return 0;
+}
+
+int
 run_info(const Args &args)
 {
     const graph::DatasetId id =
@@ -210,6 +287,9 @@ usage()
         "  model  --dataset D --framework F --model M --gpus N\n"
         "         --machines N --epochs N --batch N --max-batches N\n"
         "  train  --dataset D --model M --epochs N --lr-milli N\n"
+        "  serve  --dataset D --rate RPS --requests N --slo-ms N\n"
+        "         --batch-max N --wait-us N --max-pending N\n"
+        "         --cache-pct N --embed-rows N --threads N\n"
         "  info   --dataset D\n"
         "datasets: reddit products mag igb papers100m\n"
         "frameworks: pyg dgl gnnadvisor gnnlab fastgl\n"
@@ -231,6 +311,8 @@ main(int argc, char **argv)
         return run_model(args);
     if (mode == "train")
         return run_train(args);
+    if (mode == "serve")
+        return run_serve(args);
     if (mode == "info")
         return run_info(args);
     usage();
