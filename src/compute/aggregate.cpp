@@ -1,35 +1,23 @@
 #include "compute/aggregate.h"
 
+#include "compute/kernel_engine.h"
 #include "util/logging.h"
 
 namespace fastgl {
 namespace compute {
+
+// The aggregation kernels run on the shared sequential KernelEngine:
+// per-edge bounds checks are hoisted into LayerBlock::validate() (one
+// structural pass per block instead of a FASTGL_CHECK in the innermost
+// loop), and the backward scatter is executed as a reverse-CSR gather.
+// Results are bit-identical to the historical per-edge loops.
 
 void
 aggregate_forward(const sample::LayerBlock &block,
                   const std::vector<float> &weights, const Tensor &in,
                   Tensor &out)
 {
-    FASTGL_CHECK(int64_t(weights.size()) == block.num_edges(),
-                 "weight count != edge count");
-    FASTGL_CHECK(out.rows() == block.num_targets() &&
-                     out.cols() == in.cols(),
-                 "aggregate output shape mismatch");
-    const int64_t dim = in.cols();
-    out.fill_zero();
-    for (int64_t t = 0; t < block.num_targets(); ++t) {
-        float *dst = out.data() + t * dim;
-        for (graph::EdgeId e = block.indptr[t]; e < block.indptr[t + 1];
-             ++e) {
-            const graph::NodeId v = block.sources[e];
-            FASTGL_CHECK(v >= 0 && v < in.rows(),
-                         "source local ID outside input rows");
-            const float w = weights[static_cast<size_t>(e)];
-            const float *src = in.data() + v * dim;
-            for (int64_t c = 0; c < dim; ++c)
-                dst[c] += w * src[c];
-        }
-    }
+    KernelEngine::sequential().aggregate_forward(block, weights, in, out);
 }
 
 void
@@ -37,25 +25,8 @@ aggregate_backward(const sample::LayerBlock &block,
                    const std::vector<float> &weights,
                    const Tensor &grad_out, Tensor &grad_in)
 {
-    FASTGL_CHECK(int64_t(weights.size()) == block.num_edges(),
-                 "weight count != edge count");
-    FASTGL_CHECK(grad_out.rows() == block.num_targets() &&
-                     grad_out.cols() == grad_in.cols(),
-                 "aggregate grad shape mismatch");
-    const int64_t dim = grad_out.cols();
-    for (int64_t t = 0; t < block.num_targets(); ++t) {
-        const float *gout = grad_out.data() + t * dim;
-        for (graph::EdgeId e = block.indptr[t]; e < block.indptr[t + 1];
-             ++e) {
-            const graph::NodeId v = block.sources[e];
-            FASTGL_CHECK(v >= 0 && v < grad_in.rows(),
-                         "source local ID outside grad rows");
-            const float w = weights[static_cast<size_t>(e)];
-            float *gin = grad_in.data() + v * dim;
-            for (int64_t c = 0; c < dim; ++c)
-                gin[c] += w * gout[c];
-        }
-    }
+    KernelEngine::sequential().aggregate_backward(block, weights,
+                                                  grad_out, grad_in);
 }
 
 void
@@ -63,23 +34,8 @@ aggregate_backward_weights(const sample::LayerBlock &block,
                            const Tensor &in, const Tensor &grad_out,
                            std::vector<float> &grad_weights)
 {
-    FASTGL_CHECK(grad_out.rows() == block.num_targets(),
-                 "grad_out row mismatch");
-    FASTGL_CHECK(in.cols() == grad_out.cols(), "dim mismatch");
-    grad_weights.assign(static_cast<size_t>(block.num_edges()), 0.0f);
-    const int64_t dim = in.cols();
-    for (int64_t t = 0; t < block.num_targets(); ++t) {
-        const float *gout = grad_out.data() + t * dim;
-        for (graph::EdgeId e = block.indptr[t]; e < block.indptr[t + 1];
-             ++e) {
-            const graph::NodeId v = block.sources[e];
-            const float *src = in.data() + v * dim;
-            float acc = 0.0f;
-            for (int64_t c = 0; c < dim; ++c)
-                acc += gout[c] * src[c];
-            grad_weights[static_cast<size_t>(e)] = acc;
-        }
-    }
+    KernelEngine::sequential().aggregate_backward_weights(
+        block, in, grad_out, grad_weights);
 }
 
 std::vector<float>

@@ -27,13 +27,14 @@ GcnLayer::forward(const sample::LayerBlock &block, const Tensor &input)
     edge_weights_ = gcn_edge_weights(block);
 
     aggregated_ = Tensor(block.num_targets(), in_dim_);
-    aggregate_forward(block, edge_weights_, input, aggregated_);
+    engine_->aggregate_forward(block, edge_weights_, input, aggregated_);
 
+    // Fused update: gemm + bias + (optional) ReLU in one pass.
     Tensor out(block.num_targets(), out_dim_);
-    gemm(aggregated_, weight_.value, out);
-    add_bias(out, bias_.value);
-    if (apply_relu_)
-        relu_forward(out);
+    engine_->gemm_fused(aggregated_, weight_.value, &bias_.value,
+                        apply_relu_ ? Activation::kRelu
+                                    : Activation::kNone,
+                        0.0f, out);
     output_ = out;
     return out;
 }
@@ -42,23 +43,28 @@ Tensor
 GcnLayer::backward(const sample::LayerBlock &block,
                    const Tensor &grad_output)
 {
+    // Fused ReLU mask + bias column sums, one pass over grad.
     Tensor grad = grad_output;
-    if (apply_relu_)
-        relu_backward(output_, grad);
+    Tensor grad_bias(1, out_dim_);
+    engine_->activation_bias_backward(output_,
+                                      apply_relu_ ? Activation::kRelu
+                                                  : Activation::kNone,
+                                      0.0f, grad, &grad_bias);
+    bias_.grad.add_scaled(grad_bias, 1.0f);
 
     // Update-phase gradients (accumulated, as autograd engines do).
     Tensor grad_weight(in_dim_, out_dim_);
-    gemm_ta(aggregated_, grad, grad_weight);
+    engine_->gemm_ta(aggregated_, grad, grad_weight);
     weight_.grad.add_scaled(grad_weight, 1.0f);
-    bias_backward(grad, bias_.grad);
 
     // Gradient w.r.t. the aggregated features, then Eq. 5 back through
     // the aggregation.
     Tensor grad_agg(block.num_targets(), in_dim_);
-    gemm_tb(grad, weight_.value, grad_agg);
+    engine_->gemm_tb(grad, weight_.value, grad_agg);
 
     Tensor grad_input(input_rows_, in_dim_);
-    aggregate_backward(block, edge_weights_, grad_agg, grad_input);
+    engine_->aggregate_backward(block, edge_weights_, grad_agg,
+                                grad_input);
     return grad_input;
 }
 

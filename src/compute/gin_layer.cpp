@@ -34,18 +34,18 @@ GinLayer::forward(const sample::LayerBlock &block, const Tensor &input)
     edge_weights_ = unit_edge_weights(block);
 
     aggregated_ = Tensor(block.num_targets(), in_dim_);
-    aggregate_forward(block, edge_weights_, input, aggregated_);
+    engine_->aggregate_forward(block, edge_weights_, input, aggregated_);
 
+    // Both MLP linears run as fused gemm + bias (+ ReLU) passes.
     hidden_ = Tensor(block.num_targets(), hidden_dim_);
-    gemm(aggregated_, w1_.value, hidden_);
-    add_bias(hidden_, b1_.value);
-    relu_forward(hidden_);
+    engine_->gemm_fused(aggregated_, w1_.value, &b1_.value,
+                        Activation::kRelu, 0.0f, hidden_);
 
     Tensor out(block.num_targets(), out_dim_);
-    gemm(hidden_, w2_.value, out);
-    add_bias(out, b2_.value);
-    if (apply_final_relu_)
-        relu_forward(out);
+    engine_->gemm_fused(hidden_, w2_.value, &b2_.value,
+                        apply_final_relu_ ? Activation::kRelu
+                                          : Activation::kNone,
+                        0.0f, out);
     output_ = out;
     return out;
 }
@@ -54,31 +54,38 @@ Tensor
 GinLayer::backward(const sample::LayerBlock &block,
                    const Tensor &grad_output)
 {
+    // Second linear: fused final-ReLU mask + bias column sums.
     Tensor grad = grad_output;
-    if (apply_final_relu_)
-        relu_backward(output_, grad);
+    Tensor grad_b2(1, out_dim_);
+    engine_->activation_bias_backward(
+        output_,
+        apply_final_relu_ ? Activation::kRelu : Activation::kNone, 0.0f,
+        grad, &grad_b2);
+    b2_.grad.add_scaled(grad_b2, 1.0f);
 
-    // Second linear.
     Tensor grad_w2(hidden_dim_, out_dim_);
-    gemm_ta(hidden_, grad, grad_w2);
+    engine_->gemm_ta(hidden_, grad, grad_w2);
     w2_.grad.add_scaled(grad_w2, 1.0f);
-    bias_backward(grad, b2_.grad);
 
+    // First linear: the hidden ReLU mask and b1's column sums fuse the
+    // same way.
     Tensor grad_hidden(block.num_targets(), hidden_dim_);
-    gemm_tb(grad, w2_.value, grad_hidden);
-    relu_backward(hidden_, grad_hidden);
+    engine_->gemm_tb(grad, w2_.value, grad_hidden);
+    Tensor grad_b1(1, hidden_dim_);
+    engine_->activation_bias_backward(hidden_, Activation::kRelu, 0.0f,
+                                      grad_hidden, &grad_b1);
+    b1_.grad.add_scaled(grad_b1, 1.0f);
 
-    // First linear.
     Tensor grad_w1(in_dim_, hidden_dim_);
-    gemm_ta(aggregated_, grad_hidden, grad_w1);
+    engine_->gemm_ta(aggregated_, grad_hidden, grad_w1);
     w1_.grad.add_scaled(grad_w1, 1.0f);
-    bias_backward(grad_hidden, b1_.grad);
 
     Tensor grad_agg(block.num_targets(), in_dim_);
-    gemm_tb(grad_hidden, w1_.value, grad_agg);
+    engine_->gemm_tb(grad_hidden, w1_.value, grad_agg);
 
     Tensor grad_input(input_rows_, in_dim_);
-    aggregate_backward(block, edge_weights_, grad_agg, grad_input);
+    engine_->aggregate_backward(block, edge_weights_, grad_agg,
+                                grad_input);
     return grad_input;
 }
 

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "compute/kernel_engine.h"
 #include "compute/tensor.h"
 #include "sample/minibatch.h"
 
@@ -19,6 +20,17 @@ class GnnLayer
 {
   public:
     virtual ~GnnLayer() = default;
+
+    /**
+     * Run this layer's kernels on @p engine (non-owning; must outlive
+     * the layer). Null restores the shared sequential engine. Results
+     * are bit-identical at any engine width.
+     */
+    void
+    set_engine(KernelEngine *engine)
+    {
+        engine_ = engine ? engine : &KernelEngine::sequential();
+    }
 
     /**
      * Forward pass over @p block.
@@ -43,6 +55,10 @@ class GnnLayer
     virtual int64_t in_dim() const = 0;
     virtual int64_t out_dim() const = 0;
     virtual std::string name() const = 0;
+
+  protected:
+    /** Kernel engine the forward/backward passes run on. */
+    KernelEngine *engine_ = &KernelEngine::sequential();
 };
 
 } // namespace compute

@@ -90,6 +90,13 @@ GnnModel::backward(const sample::SampledSubgraph &sg,
     }
 }
 
+void
+GnnModel::set_engine(KernelEngine *engine)
+{
+    for (auto &layer : layers_)
+        layer->set_engine(engine);
+}
+
 std::vector<Parameter *>
 GnnModel::parameters()
 {

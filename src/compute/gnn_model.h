@@ -52,6 +52,13 @@ class GnnModel
     void backward(const sample::SampledSubgraph &sg,
                   const Tensor &grad_logits);
 
+    /**
+     * Run every layer's kernels on @p engine (non-owning; must outlive
+     * the model). Null restores the shared sequential engine. Outputs
+     * are bit-identical at any engine width.
+     */
+    void set_engine(KernelEngine *engine);
+
     /** All trainable parameters across layers. */
     std::vector<Parameter *> parameters();
 

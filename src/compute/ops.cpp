@@ -2,97 +2,45 @@
 
 #include <cmath>
 
+#include "compute/kernel_engine.h"
 #include "util/logging.h"
 
 namespace fastgl {
 namespace compute {
 
+// The GEMM variants and bias kernels run on the shared sequential
+// KernelEngine: same checks, same results (bit-identical to the
+// historical naive loops — the engine keeps their per-element FP
+// accumulation order), one blocked implementation.
+
 void
 gemm(const Tensor &a, const Tensor &b, Tensor &c)
 {
-    FASTGL_CHECK(a.cols() == b.rows(), "gemm inner dim mismatch");
-    FASTGL_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
-                 "gemm output shape mismatch");
-    const int64_t m = a.rows(), k = a.cols(), n = b.cols();
-    c.fill_zero();
-    for (int64_t i = 0; i < m; ++i) {
-        float *ci = c.data() + i * n;
-        const float *ai = a.data() + i * k;
-        for (int64_t p = 0; p < k; ++p) {
-            const float av = ai[p];
-            if (av == 0.0f)
-                continue;
-            const float *bp = b.data() + p * n;
-            for (int64_t j = 0; j < n; ++j)
-                ci[j] += av * bp[j];
-        }
-    }
+    KernelEngine::sequential().gemm(a, b, c);
 }
 
 void
 gemm_ta(const Tensor &a, const Tensor &b, Tensor &c)
 {
-    FASTGL_CHECK(a.rows() == b.rows(), "gemm_ta inner dim mismatch");
-    FASTGL_CHECK(c.rows() == a.cols() && c.cols() == b.cols(),
-                 "gemm_ta output shape mismatch");
-    const int64_t k = a.rows(), m = a.cols(), n = b.cols();
-    c.fill_zero();
-    for (int64_t p = 0; p < k; ++p) {
-        const float *ap = a.data() + p * m;
-        const float *bp = b.data() + p * n;
-        for (int64_t i = 0; i < m; ++i) {
-            const float av = ap[i];
-            if (av == 0.0f)
-                continue;
-            float *ci = c.data() + i * n;
-            for (int64_t j = 0; j < n; ++j)
-                ci[j] += av * bp[j];
-        }
-    }
+    KernelEngine::sequential().gemm_ta(a, b, c);
 }
 
 void
 gemm_tb(const Tensor &a, const Tensor &b, Tensor &c)
 {
-    FASTGL_CHECK(a.cols() == b.cols(), "gemm_tb inner dim mismatch");
-    FASTGL_CHECK(c.rows() == a.rows() && c.cols() == b.rows(),
-                 "gemm_tb output shape mismatch");
-    const int64_t m = a.rows(), k = a.cols(), n = b.rows();
-    for (int64_t i = 0; i < m; ++i) {
-        const float *ai = a.data() + i * k;
-        float *ci = c.data() + i * n;
-        for (int64_t j = 0; j < n; ++j) {
-            const float *bj = b.data() + j * k;
-            float acc = 0.0f;
-            for (int64_t p = 0; p < k; ++p)
-                acc += ai[p] * bj[p];
-            ci[j] = acc;
-        }
-    }
+    KernelEngine::sequential().gemm_tb(a, b, c);
 }
 
 void
 add_bias(Tensor &x, const Tensor &bias)
 {
-    FASTGL_CHECK(bias.rows() == 1 && bias.cols() == x.cols(),
-                 "bias shape mismatch");
-    for (int64_t r = 0; r < x.rows(); ++r) {
-        float *row = x.data() + r * x.cols();
-        for (int64_t c = 0; c < x.cols(); ++c)
-            row[c] += bias.at(0, c);
-    }
+    KernelEngine::sequential().add_bias(x, bias);
 }
 
 void
 bias_backward(const Tensor &grad, Tensor &grad_bias)
 {
-    FASTGL_CHECK(grad_bias.rows() == 1 && grad_bias.cols() == grad.cols(),
-                 "bias grad shape mismatch");
-    for (int64_t r = 0; r < grad.rows(); ++r) {
-        const float *row = grad.data() + r * grad.cols();
-        for (int64_t c = 0; c < grad.cols(); ++c)
-            grad_bias.at(0, c) += row[c];
-    }
+    KernelEngine::sequential().bias_backward(grad, grad_bias);
 }
 
 void

@@ -23,7 +23,12 @@ void gemm_tb(const Tensor &a, const Tensor &b, Tensor &c);
 /** x[r,:] += bias[0,:] for every row. */
 void add_bias(Tensor &x, const Tensor &bias);
 
-/** grad_bias[0,:] += column sums of grad. */
+/**
+ * grad_bias[0,:] = column sums of grad. @p grad_bias is OVERWRITTEN,
+ * matching gemm's fill_zero convention — callers that accumulate
+ * across calls add the result explicitly (as the layers do for their
+ * weight gradients).
+ */
 void bias_backward(const Tensor &grad, Tensor &grad_bias);
 
 /** In-place ReLU; returns mask-applied output in @p x. */

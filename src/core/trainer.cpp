@@ -1,5 +1,6 @@
 #include "core/trainer.h"
 
+#include "sim/gpu_spec.h"
 #include "util/logging.h"
 
 namespace fastgl {
@@ -8,6 +9,9 @@ namespace core {
 Trainer::Trainer(const graph::Dataset &dataset, TrainerOptions opts)
     : dataset_(dataset),
       opts_(std::move(opts)),
+      engine_(std::make_unique<compute::KernelEngine>(
+          opts_.compute_threads)),
+      cost_model_(sim::rtx3090(), compute::ComputePlan::kMemoryAware),
       splitter_(dataset.train_nodes,
                 opts_.batch_size > 0 ? opts_.batch_size
                                      : dataset.batch_size,
@@ -21,6 +25,7 @@ Trainer::Trainer(const graph::Dataset &dataset, TrainerOptions opts)
     opts_.model.seed = opts_.seed;
 
     model_ = std::make_unique<compute::GnnModel>(opts_.model);
+    model_->set_engine(engine_.get());
     if (opts_.use_adam) {
         optimizer_ = std::make_unique<compute::Adam>(opts_.learning_rate);
     } else {
@@ -64,10 +69,13 @@ Trainer::train_epoch()
         num_batches = std::min(num_batches, opts_.max_batches);
 
     TrainEpochStats stats;
+    engine_->reset_stats();
     double loss_sum = 0.0, acc_sum = 0.0;
     for (int64_t b = 0; b < num_batches; ++b) {
         sample::SampledSubgraph sg =
             sampler_->sample(splitter_.batch(b));
+        stats.modelled_compute_seconds +=
+            cost_model_.training_step(opts_.model, sg).total();
         compute::Tensor x = gather_features(sg);
         if (opts_.input_dropout > 0.0f)
             apply_input_dropout(x);
@@ -87,6 +95,16 @@ Trainer::train_epoch()
     }
     stats.mean_loss = loss_sum / double(num_batches);
     stats.mean_accuracy = acc_sum / double(num_batches);
+
+    // Measured host-kernel counters for this epoch, reported next to
+    // the modelled GPU seconds so drift between the two is visible.
+    const compute::KernelEngineStats &ks = engine_->stats();
+    stats.measured_compute.gemm_seconds = ks.gemm_seconds;
+    stats.measured_compute.gemm_flops = ks.gemm_flops;
+    stats.measured_compute.agg_seconds = ks.agg_seconds;
+    stats.measured_compute.agg_flops = ks.agg_flops;
+    stats.measured_compute.agg_bytes = ks.agg_bytes;
+    stats.measured_compute.agg_edges = ks.agg_edges;
     return stats;
 }
 

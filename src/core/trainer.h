@@ -11,7 +11,9 @@
 #include <span>
 #include <vector>
 
+#include "compute/compute_cost.h"
 #include "compute/gnn_model.h"
+#include "compute/kernel_engine.h"
 #include "compute/loss.h"
 #include "compute/optimizer.h"
 #include "core/phase_stats.h"
@@ -35,6 +37,9 @@ struct TrainerOptions
      *  training (0 = off); evaluation never drops. */
     float input_dropout = 0.0f;
     int64_t max_batches = 0;    ///< Cap batches per epoch (0 = all).
+    /** Kernel-engine width: 1 = sequential, 0 = hardware concurrency.
+     *  Losses and parameters are bit-identical at any width. */
+    int compute_threads = 1;
     uint64_t seed = 3407;
 };
 
@@ -44,6 +49,11 @@ struct TrainEpochStats
     std::vector<double> iteration_losses;
     double mean_loss = 0.0;
     double mean_accuracy = 0.0;
+    /** Host kernel counters measured during this epoch. */
+    MeasuredCompute measured_compute;
+    /** GPU-modelled compute seconds for the same batches, for
+     *  measured-vs-modelled comparison. */
+    double modelled_compute_seconds = 0.0;
 };
 
 /** Owns the model, optimizer and sampler; runs real training epochs. */
@@ -83,6 +93,8 @@ class Trainer
 
     const graph::Dataset &dataset_;
     TrainerOptions opts_;
+    std::unique_ptr<compute::KernelEngine> engine_;
+    compute::ComputeCostModel cost_model_;
     std::unique_ptr<compute::GnnModel> model_;
     std::unique_ptr<compute::Optimizer> optimizer_;
     sample::BatchSplitter splitter_;

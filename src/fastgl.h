@@ -21,6 +21,7 @@
 #include "compute/cache_replay.h"
 #include "compute/compute_cost.h"
 #include "compute/gnn_model.h"
+#include "compute/kernel_engine.h"
 #include "compute/loss.h"
 #include "compute/metrics.h"
 #include "compute/optimizer.h"

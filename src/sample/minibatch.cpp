@@ -1,0 +1,81 @@
+#include "sample/minibatch.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fastgl {
+namespace sample {
+
+void
+LayerBlock::ensure_structure() const
+{
+    if (structure_checked_)
+        return;
+    if (targets.empty() && indptr.empty() && sources.empty()) {
+        // A default-constructed block is a valid empty block.
+        max_source_ = -1;
+        structure_checked_ = true;
+        return;
+    }
+    FASTGL_CHECK(indptr.size() == targets.size() + 1,
+                 "layer block indptr size mismatch");
+    FASTGL_CHECK(indptr.front() == 0, "layer block indptr must start at 0");
+    for (size_t t = 0; t + 1 < indptr.size(); ++t)
+        FASTGL_CHECK(indptr[t] <= indptr[t + 1],
+                     "layer block indptr must be monotone");
+    FASTGL_CHECK(indptr.back() == graph::EdgeId(sources.size()),
+                 "layer block indptr does not cover sources");
+    graph::NodeId max_src = -1;
+    for (graph::NodeId v : sources) {
+        FASTGL_CHECK(v >= 0, "negative source local ID");
+        max_src = std::max(max_src, v);
+    }
+    max_source_ = max_src;
+    structure_checked_ = true;
+}
+
+void
+LayerBlock::validate(int64_t num_source_rows) const
+{
+    ensure_structure();
+    FASTGL_CHECK(max_source_ < num_source_rows,
+                 "source local ID outside input rows");
+}
+
+const ReverseCsr &
+LayerBlock::reverse_csr() const
+{
+    if (reverse_)
+        return *reverse_;
+    ensure_structure();
+
+    auto rc = std::make_shared<ReverseCsr>();
+    rc->num_sources = max_source_ + 1;
+    rc->indptr.assign(static_cast<size_t>(rc->num_sources) + 1, 0);
+    for (graph::NodeId v : sources)
+        ++rc->indptr[static_cast<size_t>(v) + 1];
+    for (size_t v = 1; v < rc->indptr.size(); ++v)
+        rc->indptr[v] += rc->indptr[v - 1];
+
+    // Counting sort by source, visiting edges in ascending edge-ID
+    // order so each source's incident list comes out ascending too.
+    rc->edge_ids.resize(sources.size());
+    rc->edge_targets.resize(sources.size());
+    std::vector<graph::EdgeId> cursor(rc->indptr.begin(),
+                                      rc->indptr.end() - 1);
+    for (int64_t t = 0; t < num_targets(); ++t) {
+        for (graph::EdgeId e = indptr[static_cast<size_t>(t)];
+             e < indptr[static_cast<size_t>(t) + 1]; ++e) {
+            const auto v = static_cast<size_t>(sources[static_cast<size_t>(e)]);
+            const auto slot = static_cast<size_t>(cursor[v]++);
+            rc->edge_ids[slot] = e;
+            rc->edge_targets[slot] = t;
+        }
+    }
+    reverse_ = std::move(rc);
+    return *reverse_;
+}
+
+} // namespace sample
+} // namespace fastgl

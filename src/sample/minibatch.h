@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graph/csr_graph.h"
@@ -13,6 +14,26 @@
 
 namespace fastgl {
 namespace sample {
+
+/**
+ * Transposed (CSC) view of one LayerBlock: for every source local ID,
+ * the edges it participates in, each edge listed with its target *row*
+ * index. Within a source, edges appear in ascending edge-ID order —
+ * exactly the order the target-major scatter of the naive backward
+ * aggregation visits them, which is what makes the gather rewrite of
+ * aggregate_backward bit-identical to the sequential scatter.
+ */
+struct ReverseCsr
+{
+    /** Source rows covered: max source local ID + 1. */
+    int64_t num_sources = 0;
+    /** Row pointer over sources (size num_sources + 1). */
+    std::vector<graph::EdgeId> indptr;
+    /** Forward edge IDs, ascending within each source. */
+    std::vector<graph::EdgeId> edge_ids;
+    /** Target row index t of each listed edge (not targets[t]). */
+    std::vector<graph::NodeId> edge_targets;
+};
 
 /**
  * One message-flow block: the bipartite edges of a single GNN layer in
@@ -39,6 +60,34 @@ struct LayerBlock
                    ? 0.0
                    : double(num_edges()) / double(num_targets());
     }
+
+    /**
+     * Validate the block structure once, instead of re-checking every
+     * edge inside the aggregation inner loops: indptr must be a
+     * monotone cover of sources, and every source local ID must fall
+     * inside [0, num_source_rows). Panics (FASTGL_CHECK) on violation.
+     *
+     * The structural pass runs once and is cached; only the cheap
+     * max-source bound is re-checked per call. Not safe to call
+     * concurrently with the first validation of the same block; the
+     * topology vectors must not be mutated after the first call.
+     */
+    void validate(int64_t num_source_rows) const;
+
+    /**
+     * The cached CSC view (built on first use, shared across copies).
+     * Same thread-safety/immutability contract as validate().
+     */
+    const ReverseCsr &reverse_csr() const;
+
+  private:
+    void ensure_structure() const;
+
+    /** Lazily built CSC view, shared when the block is copied. */
+    mutable std::shared_ptr<const ReverseCsr> reverse_;
+    /** Cached max source local ID (-1 when no edges). */
+    mutable graph::NodeId max_source_ = -1;
+    mutable bool structure_checked_ = false;
 };
 
 /**

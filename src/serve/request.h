@@ -65,6 +65,12 @@ struct InferenceResponse
     double latency = 0.0;
     /** Micro-batch that served it; -1 for cache hits and refusals. */
     int64_t batch_id = -1;
+    /**
+     * Predicted class per target node (argmax of the real forward
+     * pass). Filled only when ServerOptions::compute_logits is on and
+     * the request was served by a dispatched batch; empty otherwise.
+     */
+    std::vector<int> predicted;
 };
 
 } // namespace serve

@@ -127,6 +127,13 @@ Server::Server(const graph::Dataset &dataset, ServerOptions opts,
         embedding_opts_.capacity_rows = std::max<int64_t>(1, n / 10);
 
     table_.set_touched_tracking(true);
+
+    if (opts_.compute_logits) {
+        engine_ = std::make_unique<compute::KernelEngine>(
+            opts_.compute_threads);
+        model_ = std::make_unique<compute::GnnModel>(opts_.model);
+        model_->set_engine(engine_.get());
+    }
 }
 
 Server::BatchCost
@@ -196,6 +203,8 @@ std::vector<InferenceResponse>
 Server::serve(const std::vector<InferenceRequest> &trace)
 {
     stats_ = ServingStats{};
+    if (engine_)
+        engine_->reset_stats();
     const Clock::time_point wall_start = Clock::now();
     const size_t total = trace.size();
 
@@ -237,6 +246,8 @@ Server::serve(const std::vector<InferenceRequest> &trace)
         double gpu_free_at = 0.0;
         double last_event = 0.0;
         double busy = 0.0;
+        double compute_wall = 0.0;   ///< Measured real-forward seconds.
+        int64_t compute_batches = 0; ///< Batches with a real forward.
         int64_t batch_members = 0;
         size_t processed = 0;
         std::deque<double> inflight; ///< Completion times, monotone.
@@ -302,6 +313,43 @@ Server::serve(const std::vector<InferenceRequest> &trace)
             vs.inflight.push_back(completion);
             for (graph::NodeId node : pr.request.targets)
                 embeddings.update(node, completion);
+        }
+
+        // Real numeric forward (opt-in): runs on the sequencer thread,
+        // after the virtual accounting, so the modelled world is
+        // untouched. Batch composition is deterministic, the engine is
+        // deterministic at any width, and requests are replayed in
+        // arrival order — so predictions (and the fingerprint words
+        // they add) are bit-identical across runs and thread counts.
+        if (model_) {
+            const Clock::time_point c0 = Clock::now();
+            for (const PendingRequest &pr : batch) {
+                const sample::SampledSubgraph &sg = pr.subgraph;
+                compute::Tensor x(sg.num_nodes(),
+                                  dataset_.features.dim());
+                for (int64_t i = 0; i < sg.num_nodes(); ++i)
+                    dataset_.features.gather_row(
+                        sg.nodes[static_cast<size_t>(i)],
+                        x.row(i).data());
+                const compute::Tensor logits = model_->forward(sg, x);
+                std::vector<int> &pred =
+                    responses[static_cast<size_t>(pr.request.id)]
+                        .predicted;
+                pred.resize(static_cast<size_t>(sg.num_seeds));
+                for (int64_t s = 0; s < sg.num_seeds; ++s) {
+                    int best = 0;
+                    for (int64_t c = 1; c < logits.cols(); ++c) {
+                        if (logits.at(s, c) > logits.at(s, best))
+                            best = static_cast<int>(c);
+                    }
+                    pred[static_cast<size_t>(s)] = best;
+                    vs.fingerprint =
+                        fnv(vs.fingerprint,
+                            static_cast<uint64_t>(best));
+                }
+            }
+            vs.compute_wall += seconds_since(c0);
+            ++vs.compute_batches;
         }
     };
 
@@ -514,6 +562,10 @@ Server::serve(const std::vector<InferenceRequest> &trace)
     st.gpu_utilization =
         st.makespan > 0.0 ? vs.busy / st.makespan : 0.0;
     st.fingerprint = vs.fingerprint;
+    st.compute_seconds = vs.compute_wall;
+    st.compute_batches = vs.compute_batches;
+    if (engine_)
+        st.compute_gflops = engine_->stats().gemm_gflops();
     st.work_queue = work_queue.stats();
     st.done_queue = done_queue.stats();
     return responses;

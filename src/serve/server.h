@@ -40,6 +40,8 @@
 #include <vector>
 
 #include "compute/compute_cost.h"
+#include "compute/gnn_model.h"
+#include "compute/kernel_engine.h"
 #include "graph/datasets.h"
 #include "match/feature_cache.h"
 #include "sample/fused_hash_table.h"
@@ -94,6 +96,17 @@ struct ServerOptions
     /** Hotness ranking that fills the feature cache. */
     match::CachePolicy cache_policy = match::CachePolicy::kDegree;
     EmbeddingCacheOptions embedding;
+    /**
+     * Run the real numeric forward pass for every dispatched batch and
+     * fill InferenceResponse::predicted. Off by default: the virtual
+     * world (latencies, fingerprint) is identical either way except
+     * that predictions are folded into the fingerprint when on.
+     */
+    bool compute_logits = false;
+    /** KernelEngine width for compute_logits forwards: 1 = sequential,
+     *  0 = hardware concurrency. Predictions are bit-identical at any
+     *  width and worker_threads count. */
+    int compute_threads = 1;
     uint64_t seed = 1;
 
     // --- Test hooks (no-ops when unset; not for production use) ---
@@ -143,6 +156,12 @@ struct ServingStats
 
     // --- Measured host-side (vary run to run; never fed back) ---
     double wall_seconds = 0.0;
+    /** Host seconds spent in real forward passes (compute_logits on). */
+    double compute_seconds = 0.0;
+    /** Measured host GEMM throughput of those forwards (GFLOP/s). */
+    double compute_gflops = 0.0;
+    /** Batches that ran a real forward pass. */
+    int64_t compute_batches = 0;
     /** Host seconds per ego-net sample, merged from per-thread stats. */
     util::SampleStat worker_sample_seconds;
     util::QueueStats work_queue;
@@ -220,6 +239,10 @@ class Server
      * batch uniques, as in the samplers).
      */
     sample::FusedHashTable table_;
+    /** Real-forward machinery; non-null iff opts_.compute_logits.
+     *  Touched only by the sequencer thread during serve(). */
+    std::unique_ptr<compute::KernelEngine> engine_;
+    std::unique_ptr<compute::GnnModel> model_;
     util::StageShutdown shutdown_;
     ServingStats stats_;
 };

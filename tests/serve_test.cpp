@@ -300,6 +300,52 @@ TEST(Serve, RepeatedServeOnOneServerIsBitIdentical)
     expect_identical_serving(first, server.last_stats());
 }
 
+TEST(Serve, RealForwardPredictionsBitIdenticalAcrossThreadCounts)
+{
+    // compute_logits runs the real numeric forward pass per batch on
+    // the kernel engine; predictions (and the fingerprint words they
+    // add) must not depend on worker threads or engine width.
+    auto ref_opts = base_server_options();
+    ref_opts.worker_threads = 1;
+    ref_opts.compute_logits = true;
+    ref_opts.compute_threads = 1;
+    serve::Server reference_server(products(), ref_opts);
+    const auto trace = make_trace(reference_server, 2000.0, 192);
+    const auto reference = reference_server.serve(trace);
+    const serve::ServingStats ref_stats = reference_server.last_stats();
+    EXPECT_GT(ref_stats.compute_batches, 0);
+    EXPECT_GT(ref_stats.compute_seconds, 0.0);
+
+    // At least one served-by-batch response carries predictions in
+    // class range.
+    const int num_classes = [] {
+        return static_cast<int>(products().features.num_classes());
+    }();
+    bool any_predicted = false;
+    for (const auto &resp : reference) {
+        if (resp.batch_id < 0)
+            continue;
+        EXPECT_FALSE(resp.predicted.empty());
+        for (int cls : resp.predicted) {
+            EXPECT_GE(cls, 0);
+            EXPECT_LT(cls, num_classes);
+        }
+        any_predicted = true;
+    }
+    EXPECT_TRUE(any_predicted);
+
+    auto opts = base_server_options();
+    opts.worker_threads = 4;
+    opts.compute_logits = true;
+    opts.compute_threads = 4;
+    serve::Server server(products(), opts);
+    const auto responses = server.serve(trace);
+    expect_identical_serving(ref_stats, server.last_stats());
+    ASSERT_EQ(responses.size(), reference.size());
+    for (size_t i = 0; i < responses.size(); ++i)
+        EXPECT_EQ(responses[i].predicted, reference[i].predicted);
+}
+
 // ---------------------------------------------------------------------
 // Server: admission control under overload
 // ---------------------------------------------------------------------

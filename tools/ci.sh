@@ -35,7 +35,7 @@ if [[ "${FASTGL_TSAN:-0}" == "1" ]]; then
     run_config build-tsan -DFASTGL_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-        -R 'BoundedQueue|ThreadPool|AsyncPipeline|Determinism|Serve|StageShutdown'
+        -R 'BoundedQueue|ThreadPool|AsyncPipeline|Determinism|Serve|StageShutdown|ComputeKernels'
 fi
 
 if [[ "${FASTGL_NO_PERF:-0}" != "1" ]]; then
@@ -64,6 +64,25 @@ if [[ "${FASTGL_NO_PERF:-0}" != "1" ]]; then
         | tee BENCH_serving.json
     python3 -m json.tool BENCH_serving.json > /dev/null
     grep -q '"all_p99_finite": true' BENCH_serving.json
+
+    # Compute-kernel smoke: blocked GEMM + reverse-CSR aggregation vs
+    # their in-bench legacy replicas. The bench exits non-zero if any
+    # FNV witness diverges (the engine must be bit-identical to the
+    # naive loops at every thread count); speedups are archived, not
+    # gated. Runs in the primary configuration (repo-default build
+    # type) because that is how the pre-engine loops actually shipped —
+    # the honest before/after baseline. (-O3 additionally auto-
+    # vectorizes the naive replicas, which narrows the measured gap
+    # without reflecting any code that ever ran.)
+    echo "==> compute-kernel smoke (primary configuration)"
+    cmake --build build-ci --target bench_ext_compute -j "$JOBS"
+    ./build-ci/bench/bench_ext_compute --smoke \
+        | tee BENCH_compute.json
+    python3 -m json.tool BENCH_compute.json > /dev/null
+    if grep -q '"identical": false' BENCH_compute.json; then
+        echo "compute bench: witness mismatch" >&2
+        exit 1
+    fi
 fi
 
 echo "==> CI OK"

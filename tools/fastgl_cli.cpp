@@ -160,6 +160,12 @@ run_train(const Args &args)
     opts.max_batches = args.get_int("max-batches", 10);
     opts.learning_rate =
         float(args.get_int("lr-milli", 3)) / 1000.0f;
+    // The FastGL preset's host-kernel width (bit-identical results at
+    // any value); override with --compute-threads.
+    opts.compute_threads = int(args.get_int(
+        "compute-threads",
+        core::framework_preset(core::Framework::kFastGL)
+            .compute_threads));
     opts.seed = uint64_t(args.get_int("seed", 3407));
     core::Trainer trainer(ds, opts);
 
@@ -169,8 +175,14 @@ run_train(const Args &args)
                 ds.name.c_str(), epochs);
     for (int e = 0; e < epochs; ++e) {
         const auto stats = trainer.train_epoch();
-        std::printf("epoch %d: loss %.4f, accuracy %.3f\n", e,
-                    stats.mean_loss, stats.mean_accuracy);
+        std::printf("epoch %d: loss %.4f, accuracy %.3f | host compute "
+                    "%.3fs (%.1f GFLOP/s gemm, %.0f B/edge agg), "
+                    "modelled GPU %.3fs\n",
+                    e, stats.mean_loss, stats.mean_accuracy,
+                    stats.measured_compute.seconds(),
+                    stats.measured_compute.gemm_gflops(),
+                    stats.measured_compute.agg_bytes_per_edge(),
+                    stats.modelled_compute_seconds);
     }
     return 0;
 }
