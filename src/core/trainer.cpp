@@ -70,10 +70,17 @@ Trainer::train_epoch()
 
     TrainEpochStats stats;
     engine_->reset_stats();
+    if (opts_.record_node_frequencies)
+        stats.node_frequencies.assign(
+            static_cast<size_t>(dataset_.graph.num_nodes()), 0);
     double loss_sum = 0.0, acc_sum = 0.0;
     for (int64_t b = 0; b < num_batches; ++b) {
         sample::SampledSubgraph sg =
             sampler_->sample(splitter_.batch(b));
+        if (opts_.record_node_frequencies) {
+            for (graph::NodeId u : sg.nodes)
+                ++stats.node_frequencies[static_cast<size_t>(u)];
+        }
         stats.modelled_compute_seconds +=
             cost_model_.training_step(opts_.model, sg).total();
         compute::Tensor x = gather_features(sg);

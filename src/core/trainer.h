@@ -40,6 +40,13 @@ struct TrainerOptions
     /** Kernel-engine width: 1 = sequential, 0 = hardware concurrency.
      *  Losses and parameters are bit-identical at any width. */
     int compute_threads = 1;
+    /**
+     * Record per-node access frequencies (appearances in sampled
+     * subgraphs) into TrainEpochStats::node_frequencies. The counts
+     * become a match::WarmupTrace that warms the serving tier's
+     * feature/embedding caches instead of starting them cold.
+     */
+    bool record_node_frequencies = false;
     uint64_t seed = 3407;
 };
 
@@ -54,6 +61,14 @@ struct TrainEpochStats
     /** GPU-modelled compute seconds for the same batches, for
      *  measured-vs-modelled comparison. */
     double modelled_compute_seconds = 0.0;
+    /**
+     * node_frequencies[node] = appearances in this epoch's sampled
+     * subgraphs. Filled only when
+     * TrainerOptions::record_node_frequencies is set; feed it to
+     * match::save_warmup_trace / serve::ServerOptions::warmup to warm
+     * serving caches from real training traffic.
+     */
+    std::vector<int64_t> node_frequencies;
 };
 
 /** Owns the model, optimizer and sampler; runs real training epochs. */

@@ -1,6 +1,8 @@
 #include "match/feature_cache.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <numeric>
 
 #include "util/logging.h"
@@ -53,6 +55,61 @@ degree_ranking(const graph::CsrGraph &graph)
                          return graph.degree(a) > graph.degree(b);
                      });
     return ranking;
+}
+
+namespace {
+
+/** File-format magic of the warmup-trace text format. */
+constexpr const char *kWarmupMagic = "fastgl-warmup-v1";
+
+} // namespace
+
+bool
+save_warmup_trace(const std::string &path, const WarmupTrace &trace)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        util::warn("cannot write warmup trace to " + path);
+        return false;
+    }
+    std::fprintf(f, "%s %zu\n", kWarmupMagic,
+                 trace.frequencies.size());
+    for (int64_t count : trace.frequencies)
+        std::fprintf(f, "%" PRId64 "\n", count);
+    std::fclose(f);
+    return true;
+}
+
+WarmupTrace
+load_warmup_trace(const std::string &path)
+{
+    WarmupTrace trace;
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f) {
+        util::warn("cannot read warmup trace from " + path);
+        return trace;
+    }
+    char magic[32] = {0};
+    size_t n = 0;
+    if (std::fscanf(f, "%31s %zu", magic, &n) != 2 ||
+        std::string(magic) != kWarmupMagic) {
+        util::warn("not a warmup trace: " + path);
+        std::fclose(f);
+        return trace;
+    }
+    trace.frequencies.resize(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        int64_t count = 0;
+        if (std::fscanf(f, "%" SCNd64, &count) != 1) {
+            util::warn("truncated warmup trace: " + path);
+            trace.frequencies.clear();
+            std::fclose(f);
+            return trace;
+        }
+        trace.frequencies[i] = count;
+    }
+    std::fclose(f);
+    return trace;
 }
 
 std::vector<graph::NodeId>

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "graph/csr_graph.h"
@@ -101,6 +102,38 @@ std::vector<graph::NodeId> degree_ranking(const graph::CsrGraph &graph);
  */
 std::vector<graph::NodeId>
 presample_ranking(const std::vector<int64_t> &frequencies);
+
+/**
+ * Per-node access frequencies recorded from a real workload — a
+ * training epoch (core::Trainer with record_node_frequencies) or any
+ * presample sweep. The serving tier warms its caches from one of
+ * these instead of starting cold: presample_ranking(frequencies)
+ * orders the StaticFeatureCache fill, and serve::Server seeds its
+ * embedding caches with the head of that order (BGL's observation
+ * that observed access frequency dominates cold LRU for GNN serving).
+ */
+struct WarmupTrace
+{
+    /** frequencies[node] = times the node appeared; size = num_nodes. */
+    std::vector<int64_t> frequencies;
+
+    bool empty() const { return frequencies.empty(); }
+};
+
+/**
+ * Write @p trace to @p path in the versioned text format
+ * ("fastgl-warmup-v1", one count per line).
+ * @return false when the file cannot be written.
+ */
+bool save_warmup_trace(const std::string &path,
+                       const WarmupTrace &trace);
+
+/**
+ * Read a warmup trace written by save_warmup_trace.
+ * @return the trace; empty (and a warning is logged) when the file is
+ *         missing or malformed.
+ */
+WarmupTrace load_warmup_trace(const std::string &path);
 
 } // namespace match
 } // namespace fastgl

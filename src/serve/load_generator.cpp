@@ -14,8 +14,50 @@ namespace {
 /** Stream tags for derive_seed (arbitrary, fixed forever). */
 constexpr uint64_t kArrivalStream = 0x5E21;
 constexpr uint64_t kTargetStream = 0x5E22;
+constexpr uint64_t kClassStream = 0x5E23;
+constexpr uint64_t kModelStream = 0x5E24;
+
+/**
+ * Draw an index from normalised @p shares with one uniform variate;
+ * degenerate shares (sum <= 0) fall back to @p fallback.
+ */
+template <typename Shares>
+size_t
+draw_share(const Shares &shares, double u, size_t fallback)
+{
+    double total = 0.0;
+    for (double s : shares)
+        total += s > 0.0 ? s : 0.0;
+    if (total <= 0.0)
+        return fallback;
+    double acc = 0.0;
+    size_t last = fallback;
+    for (size_t i = 0; i < shares.size(); ++i) {
+        if (shares[i] <= 0.0)
+            continue;
+        acc += shares[i] / total;
+        last = i;
+        if (u < acc)
+            return i;
+    }
+    return last; // u == 1.0 rounding tail
+}
 
 } // namespace
+
+const char *
+priority_name(Priority priority)
+{
+    switch (priority) {
+      case Priority::kPaid:
+        return "paid";
+      case Priority::kStandard:
+        return "standard";
+      case Priority::kBestEffort:
+        return "best-effort";
+    }
+    return "?";
+}
 
 const char *
 outcome_name(Outcome outcome)
@@ -51,6 +93,8 @@ LoadGenerator::LoadGenerator(std::span<const graph::NodeId> population,
         static_cast<int>(population_.size()));
     opts_.hot_fraction = std::clamp(opts_.hot_fraction, 0.0, 1.0);
     opts_.hot_traffic = std::clamp(opts_.hot_traffic, 0.0, 1.0);
+    for (double &scale : opts_.class_slo_scale)
+        scale = std::max(1e-9, scale);
 }
 
 std::vector<InferenceRequest>
@@ -80,7 +124,26 @@ LoadGenerator::generate() const
         InferenceRequest req;
         req.id = i;
         req.arrival = now;
-        req.deadline = now + opts_.slo_deadline;
+
+        // Class and model draws use their own per-request streams so
+        // the arrival and target sequences are identical whatever mix
+        // is configured (single-class traces from earlier PRs replay
+        // bit-identically).
+        util::Rng class_rng(util::derive_seed(
+            opts_.seed, kClassStream, static_cast<uint64_t>(i)));
+        req.priority = static_cast<Priority>(draw_share(
+            opts_.class_mix, class_rng.next_double(),
+            static_cast<size_t>(Priority::kStandard)));
+        if (opts_.model_mix.size() > 1) {
+            util::Rng model_rng(util::derive_seed(
+                opts_.seed, kModelStream, static_cast<uint64_t>(i)));
+            req.model = static_cast<int>(draw_share(
+                opts_.model_mix, model_rng.next_double(), 0));
+        }
+        req.deadline =
+            now + opts_.slo_deadline *
+                      opts_.class_slo_scale[static_cast<size_t>(
+                          req.priority)];
 
         util::Rng rng(util::derive_seed(opts_.seed, kTargetStream,
                                         static_cast<uint64_t>(i)));

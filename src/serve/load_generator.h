@@ -14,6 +14,7 @@
  */
 #pragma once
 
+#include <array>
 #include <span>
 #include <vector>
 
@@ -41,6 +42,28 @@ struct LoadGeneratorOptions
      */
     double hot_fraction = 0.10;
     double hot_traffic = 0.80;
+    /**
+     * Share of requests in each priority class, indexed by Priority
+     * (paid, standard, best-effort); normalised internally. The
+     * default sends everything as kStandard — the single-class
+     * workload earlier PRs served. Class draws use their own RNG
+     * stream, so changing the mix never perturbs arrivals or targets.
+     */
+    std::array<double, kNumPriorityClasses> class_mix = {0.0, 1.0, 0.0};
+    /**
+     * Per-class multiplier on slo_deadline (deadline = arrival +
+     * slo_deadline * scale[class]) — paid traffic typically buys a
+     * tighter deadline, best-effort tolerates a looser one.
+     */
+    std::array<double, kNumPriorityClasses> class_slo_scale = {1.0, 1.0,
+                                                               1.0};
+    /**
+     * Share of requests routed to each model tier
+     * (InferenceRequest::model); normalised internally. Empty (the
+     * default) routes everything to tier 0. Model draws use their own
+     * RNG stream, like class draws.
+     */
+    std::vector<double> model_mix;
     uint64_t seed = 1;
 };
 

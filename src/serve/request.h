@@ -19,6 +19,26 @@
 namespace fastgl {
 namespace serve {
 
+/**
+ * Request priority class: who gets hurt first when the server is
+ * overloaded. Admission control sheds lower classes at smaller queue
+ * depths (see AdmissionPolicy::class_weight), so under a load spike
+ * best-effort traffic is refused while paid traffic keeps its SLO.
+ * Enumerator values index the per-class arrays below; keep them dense.
+ */
+enum class Priority
+{
+    kPaid = 0,      ///< Protected: sheds last, keeps its deadline.
+    kStandard = 1,  ///< The default tier.
+    kBestEffort = 2 ///< Sheds first; no latency promise under load.
+};
+
+/** Number of priority classes (size of every per-class array). */
+constexpr int kNumPriorityClasses = 3;
+
+/** Printable priority-class name ("paid", "standard", "best-effort"). */
+const char *priority_name(Priority priority);
+
 /** One online inference request: embed these target nodes, soon. */
 struct InferenceRequest
 {
@@ -30,6 +50,14 @@ struct InferenceRequest
     double deadline = 0.0;
     /** Target nodes whose embeddings the client wants (distinct). */
     std::vector<graph::NodeId> targets;
+    /** Priority class; decides shedding order under overload. */
+    Priority priority = Priority::kStandard;
+    /**
+     * Index of the model tier (ServerOptions::models) that must answer
+     * this request — e.g. 0 = the cheap GCN tier, 1 = the expensive
+     * GAT tier. Must be in range for the serving Server's tier list.
+     */
+    int model = 0;
 };
 
 /** What happened to a request. */

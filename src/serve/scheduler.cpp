@@ -1,0 +1,66 @@
+#include "serve/scheduler.h"
+
+#include "util/logging.h"
+
+namespace fastgl {
+namespace serve {
+
+DrrScheduler::DrrScheduler(size_t num_models, double quantum)
+    : deficit_(num_models, 0.0), quantum_(quantum)
+{
+    FASTGL_CHECK(num_models > 0, "DrrScheduler needs >= 1 model");
+    FASTGL_CHECK(quantum > 0.0, "DrrScheduler quantum must be > 0");
+}
+
+size_t
+DrrScheduler::pick(const std::vector<char> &ready,
+                   const std::vector<double> &cost)
+{
+    FASTGL_CHECK(ready.size() == deficit_.size() &&
+                     cost.size() == deficit_.size(),
+                 "DrrScheduler::pick size mismatch");
+    bool any = false;
+    for (char r : ready)
+        any = any || r != 0;
+    FASTGL_CHECK(any, "DrrScheduler::pick with no ready model");
+
+    // Accrue quanta round by round until someone's credit covers its
+    // batch. Terminates: every round adds quantum to every ready
+    // model, so the cheapest ready batch is covered within
+    // ceil(max_cost / quantum) rounds.
+    for (;;) {
+        for (size_t off = 0; off < deficit_.size(); ++off) {
+            const size_t m = (cursor_ + off) % deficit_.size();
+            if (!ready[m])
+                continue;
+            deficit_[m] += quantum_;
+            if (deficit_[m] >= cost[m]) {
+                deficit_[m] -= cost[m];
+                // Next pick starts after the winner, so equal-cost
+                // contenders alternate instead of one monopolising
+                // the cursor position.
+                cursor_ = (m + 1) % deficit_.size();
+                return m;
+            }
+        }
+    }
+}
+
+void
+DrrScheduler::reset(size_t model)
+{
+    FASTGL_CHECK(model < deficit_.size(),
+                 "DrrScheduler::reset out of range");
+    deficit_[model] = 0.0;
+}
+
+double
+DrrScheduler::deficit(size_t model) const
+{
+    FASTGL_CHECK(model < deficit_.size(),
+                 "DrrScheduler::deficit out of range");
+    return deficit_[model];
+}
+
+} // namespace serve
+} // namespace fastgl

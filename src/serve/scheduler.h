@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deficit-round-robin arbitration of the shared device timeline.
+ *
+ * A multi-model server owns one modelled GPU (`gpu_free_at`) but
+ * several per-model batchers. When more than one model has a closed
+ * micro-batch waiting for the device, someone must decide the order —
+ * and "whoever closed first" starves a cheap model behind an expensive
+ * one (a GAT batch costs several GCN batches). The classic fix is
+ * deficit round robin: each model accrues credit (the quantum) every
+ * round and dispatches when its accumulated credit covers the modelled
+ * cost of its next batch, so over time each model receives an equal
+ * share of device seconds regardless of its per-batch cost.
+ *
+ * Costs are modelled seconds from compute::ComputeCostModel — the same
+ * virtual-clock numbers that drive batch completion — so arbitration
+ * is deterministic: it depends only on the trace and the options,
+ * never on host threads. The scheduler is single-threaded by design
+ * (only the serving sequencer calls it), like every other piece of the
+ * virtual event machine.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fastgl {
+namespace serve {
+
+/** Deterministic deficit-round-robin picker over model tiers. */
+class DrrScheduler
+{
+  public:
+    /**
+     * @param num_models number of model tiers sharing the device
+     * @param quantum    credit (modelled seconds) granted to each
+     *                   ready model per round; any positive value
+     *                   gives long-run fairness, smaller values
+     *                   interleave at finer granularity
+     */
+    DrrScheduler(size_t num_models, double quantum);
+
+    /**
+     * Choose which ready model dispatches next. Starting from the
+     * round-robin cursor, every ready model accrues one quantum per
+     * round until some model's credit covers its batch cost; the first
+     * such model (in cursor order) wins and is charged its cost.
+     *
+     * @param ready ready[m] != 0 iff model m has a closed batch
+     *              waiting (at least one entry must be ready)
+     * @param cost  cost[m] = modelled service seconds of model m's
+     *              waiting batch (ignored for non-ready models)
+     * @return the selected model index
+     */
+    size_t pick(const std::vector<char> &ready,
+                const std::vector<double> &cost);
+
+    /**
+     * Forget model @p m's accumulated credit. Call when its queue
+     * empties — an idle model must not bank credit while others work
+     * (the standard DRR rule that keeps the deficit bounded).
+     */
+    void reset(size_t model);
+
+    /** Accumulated credit of @p model (for tests/introspection). */
+    double deficit(size_t model) const;
+
+    size_t num_models() const { return deficit_.size(); }
+    double quantum() const { return quantum_; }
+
+  private:
+    std::vector<double> deficit_;
+    double quantum_ = 0.0;
+    size_t cursor_ = 0; ///< Round-robin start position.
+};
+
+} // namespace serve
+} // namespace fastgl

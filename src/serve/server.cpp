@@ -68,26 +68,58 @@ Server::Server(const graph::Dataset &dataset, ServerOptions opts,
       table_(1024)
 {
     FASTGL_CHECK(!opts_.fanouts.empty(), "Server needs >= 1 fanout");
-    if (opts_.model.in_dim == 0)
-        opts_.model.in_dim = dataset.features.dim();
-    if (opts_.model.num_classes == 0)
-        opts_.model.num_classes = dataset.features.num_classes();
-    opts_.model.num_layers = static_cast<int>(opts_.fanouts.size());
     worker_threads_ = std::max(1, opts_.worker_threads);
     opts_.queue_depth = std::max<size_t>(1, opts_.queue_depth);
+    opts_.drr_quantum = std::max(1e-9, opts_.drr_quantum);
+
+    // Resolve the hosted tiers: either the explicit multi-model list
+    // or one tier synthesized from the legacy single-model fields.
+    const auto n = static_cast<int64_t>(dataset_.graph.num_nodes());
+    std::vector<ModelTier> configs = opts_.models;
+    if (configs.empty()) {
+        ModelTier tier;
+        tier.name = compute::model_type_name(opts_.model.type);
+        tier.model = opts_.model;
+        tier.batcher = opts_.batcher;
+        tier.embedding = opts_.embedding;
+        configs.push_back(std::move(tier));
+    }
+    tiers_.reserve(configs.size());
+    for (ModelTier &config : configs) {
+        Tier tier;
+        if (config.fanouts.empty())
+            config.fanouts = opts_.fanouts;
+        if (config.model.in_dim == 0)
+            config.model.in_dim = dataset.features.dim();
+        if (config.model.num_classes == 0)
+            config.model.num_classes = dataset.features.num_classes();
+        config.model.num_layers =
+            static_cast<int>(config.fanouts.size());
+        tier.embedding = config.embedding;
+        if (tier.embedding.capacity_rows < 0)
+            tier.embedding.capacity_rows = std::max<int64_t>(1, n / 10);
+        tier.config = std::move(config);
+        tiers_.push_back(std::move(tier));
+    }
 
     // Hotness ranking: shared by the feature cache and (through
     // popularity()) the load generator, so hot traffic and hot cache
     // rows describe the same nodes — as they do in a deployed system
-    // whose cache is refilled from live access frequencies.
-    if (opts_.cache_policy == match::CachePolicy::kDegree) {
+    // whose cache is refilled from live access frequencies. A warmup
+    // trace, being exactly such a record of live frequencies, takes
+    // precedence over the synthetic policies.
+    if (!opts_.warmup.empty()) {
+        FASTGL_CHECK(opts_.warmup.frequencies.size() ==
+                         static_cast<size_t>(n),
+                     "warmup trace size != graph node count");
+        ranking_ = match::presample_ranking(opts_.warmup.frequencies);
+    } else if (opts_.cache_policy == match::CachePolicy::kDegree) {
         ranking_ = match::degree_ranking(dataset_.graph);
     } else {
         // GNNLab-style presample: run a few training batches through
         // the sampler and rank nodes by appearance frequency. The
         // presample draws from its own derived streams, never shared
         // with serving requests.
-        const graph::NodeId n = dataset_.graph.num_nodes();
         std::vector<int64_t> freq(static_cast<size_t>(n), 0);
         sample::NeighborSamplerOptions nopts;
         nopts.fanouts = opts_.fanouts;
@@ -112,7 +144,6 @@ Server::Server(const graph::Dataset &dataset, ServerOptions opts,
         ranking_ = match::presample_ranking(freq);
     }
 
-    const auto n = static_cast<int64_t>(dataset_.graph.num_nodes());
     if (opts_.feature_cache_ratio > 0.0) {
         feature_rows_ = std::clamp<int64_t>(
             static_cast<int64_t>(opts_.feature_cache_ratio *
@@ -122,22 +153,22 @@ Server::Server(const graph::Dataset &dataset, ServerOptions opts,
             feature_cache_.emplace(dataset_.graph.num_nodes(), ranking_,
                                    feature_rows_);
     }
-    embedding_opts_ = opts_.embedding;
-    if (embedding_opts_.capacity_rows < 0)
-        embedding_opts_.capacity_rows = std::max<int64_t>(1, n / 10);
 
     table_.set_touched_tracking(true);
 
     if (opts_.compute_logits) {
         engine_ = std::make_unique<compute::KernelEngine>(
             opts_.compute_threads);
-        model_ = std::make_unique<compute::GnnModel>(opts_.model);
-        model_->set_engine(engine_.get());
+        for (Tier &tier : tiers_) {
+            tier.model =
+                std::make_unique<compute::GnnModel>(tier.config.model);
+            tier.model->set_engine(engine_.get());
+        }
     }
 }
 
 Server::BatchCost
-Server::cost_batch(const std::vector<PendingRequest> &batch)
+Server::cost_batch(size_t tier, const std::vector<PendingRequest> &batch)
 {
     size_t hint = 0;
     for (const PendingRequest &pr : batch)
@@ -148,6 +179,7 @@ Server::cost_batch(const std::vector<PendingRequest> &batch)
     // Batch dedup: the union of all member ego-nets gets one dense
     // local-ID space (the Fused-Map pass of the batch), so a node two
     // requests share is gathered and shipped once.
+    const compute::ModelConfig &model = tiers_[tier].config.model;
     int64_t instances = 0;
     int64_t uniq_sum = 0;
     int64_t edges = 0;
@@ -160,7 +192,7 @@ Server::cost_batch(const std::vector<PendingRequest> &batch)
         edges += pr.subgraph.edges_examined;
         topo_bytes += pr.subgraph.topology_bytes();
         const compute::ComputeCost cc =
-            cost_model_.training_step(opts_.model, pr.subgraph);
+            cost_model_.training_step(model, pr.subgraph);
         compute_sum += cc.forward + cc.preprocess;
     }
     BatchCost cost;
@@ -207,11 +239,16 @@ Server::serve(const std::vector<InferenceRequest> &trace)
         engine_->reset_stats();
     const Clock::time_point wall_start = Clock::now();
     const size_t total = trace.size();
+    const size_t num_tiers = tiers_.size();
 
     std::vector<InferenceResponse> responses(total);
     for (size_t i = 0; i < total; ++i) {
         FASTGL_CHECK(trace[i].id == static_cast<int64_t>(i),
                      "serve() needs dense trace ids 0..n-1 in order");
+        FASTGL_CHECK(trace[i].model >= 0 &&
+                         static_cast<size_t>(trace[i].model) < num_tiers,
+                     "request routed to a model tier the server "
+                     "does not host");
         responses[i].request_id = trace[i].id;
     }
 
@@ -254,10 +291,42 @@ Server::serve(const std::vector<InferenceRequest> &trace)
         uint64_t fingerprint = 0xCBF29CE484222325ULL;
         ServingStats tallies; ///< Counter/latency fields only.
     } vs;
-    EmbeddingCache embeddings(embedding_opts_);
-    DynamicBatcher batcher(opts_.batcher);
+    vs.tallies.per_model.resize(num_tiers);
+
+    // Per-tier virtual machinery: each hosted model has its own
+    // batcher and embedding cache; the device timeline, the feature
+    // cache, and the dedup table stay shared.
+    std::vector<DynamicBatcher> batchers;
+    std::vector<EmbeddingCache> embeddings;
+    std::vector<double> pending_cost(num_tiers, 0.0); ///< DRR estimate.
+    batchers.reserve(num_tiers);
+    embeddings.reserve(num_tiers);
+    for (const Tier &tier : tiers_) {
+        batchers.emplace_back(tier.config.batcher);
+        embeddings.emplace_back(tier.embedding);
+    }
+    DrrScheduler drr(num_tiers, opts_.drr_quantum);
     if (feature_cache_)
         feature_cache_->reset_stats();
+
+    // Cache warmup: seed each tier's embedding cache with the hottest
+    // nodes of the recorded ranking at virtual time 0, coldest first
+    // so the hottest rows end up most-recently-used. Seeding is part
+    // of the virtual world (same trace -> same seeded state -> same
+    // responses), not a side effect of previous runs.
+    if (!opts_.warmup.empty()) {
+        for (size_t m = 0; m < num_tiers; ++m) {
+            const int64_t rows =
+                std::min<int64_t>(tiers_[m].embedding.capacity_rows,
+                                  static_cast<int64_t>(ranking_.size()));
+            for (int64_t i = rows; i-- > 0;)
+                embeddings[m].update(ranking_[static_cast<size_t>(i)],
+                                     0.0);
+            vs.tallies.per_model[m].warmed_rows = embeddings[m].size();
+            vs.tallies.warmed_rows += embeddings[m].size();
+        }
+        vs.tallies.warmed = true;
+    }
 
     auto respond = [&](const InferenceRequest &req, Outcome outcome,
                        double completion, int64_t batch_id) {
@@ -265,39 +334,64 @@ Server::serve(const std::vector<InferenceRequest> &trace)
             responses[static_cast<size_t>(req.id)];
         resp.outcome = outcome;
         resp.batch_id = batch_id;
+        PriorityClassStats &cls =
+            vs.tallies.per_class[static_cast<size_t>(req.priority)];
+        ModelTierStats &tier =
+            vs.tallies.per_model[static_cast<size_t>(req.model)];
         if (is_served(outcome)) {
             resp.completion = completion;
             resp.latency = completion - req.arrival;
             vs.tallies.latencies.add(resp.latency);
+            cls.latencies.add(resp.latency);
             ++vs.tallies.served;
-            if (outcome == Outcome::kServedLate)
+            ++cls.served;
+            ++tier.served;
+            if (outcome == Outcome::kServedLate) {
                 ++vs.tallies.served_late;
-            if (outcome == Outcome::kEmbeddingHit)
+                ++cls.served_late;
+            }
+            if (outcome == Outcome::kEmbeddingHit) {
                 ++vs.tallies.embedding_hits;
+                ++cls.embedding_hits;
+                ++tier.embedding_hits;
+            }
             vs.last_event = std::max(vs.last_event, completion);
         } else if (outcome == Outcome::kShedQueue) {
             ++vs.tallies.shed_queue;
+            ++cls.shed_queue;
         } else if (outcome == Outcome::kDroppedDeadline) {
             ++vs.tallies.dropped_deadline;
+            ++cls.dropped_deadline;
         }
         vs.fingerprint = fnv(vs.fingerprint,
                              static_cast<uint64_t>(req.id));
         vs.fingerprint =
             fnv(vs.fingerprint, static_cast<uint64_t>(outcome));
+        vs.fingerprint =
+            fnv(vs.fingerprint, static_cast<uint64_t>(req.priority));
+        vs.fingerprint =
+            fnv(vs.fingerprint, static_cast<uint64_t>(req.model));
         vs.fingerprint = fnv(vs.fingerprint, double_bits(resp.latency));
     };
 
-    auto dispatch = [&](double at) {
-        const std::vector<PendingRequest> batch = batcher.take();
+    auto dispatch = [&](size_t m, double at) {
+        const std::vector<PendingRequest> batch = batchers[m].take();
+        pending_cost[m] = 0.0;
+        drr.reset(m); // queue emptied: no banked credit while idle
         const int64_t batch_id = vs.tallies.batches++;
         const double start = std::max(vs.gpu_free_at, at);
-        const BatchCost cost = cost_batch(batch);
+        const BatchCost cost = cost_batch(m, batch);
         const double completion = start + cost.service;
         vs.gpu_free_at = completion;
         vs.busy += cost.service;
         vs.batch_members += static_cast<int64_t>(batch.size());
+        ModelTierStats &tier = vs.tallies.per_model[m];
+        ++tier.batches;
+        tier.mean_batch_size += static_cast<double>(batch.size());
+        tier.gpu_busy_seconds += cost.service;
         vs.fingerprint = fnv(vs.fingerprint,
                              static_cast<uint64_t>(batch_id));
+        vs.fingerprint = fnv(vs.fingerprint, static_cast<uint64_t>(m));
         vs.fingerprint = fnv(vs.fingerprint, batch.size());
         vs.fingerprint = fnv(vs.fingerprint,
                              static_cast<uint64_t>(cost.uniques));
@@ -312,7 +406,7 @@ Server::serve(const std::vector<InferenceRequest> &trace)
                     completion, batch_id);
             vs.inflight.push_back(completion);
             for (graph::NodeId node : pr.request.targets)
-                embeddings.update(node, completion);
+                embeddings[m].update(node, completion);
         }
 
         // Real numeric forward (opt-in): runs on the sequencer thread,
@@ -321,7 +415,7 @@ Server::serve(const std::vector<InferenceRequest> &trace)
         // deterministic at any width, and requests are replayed in
         // arrival order — so predictions (and the fingerprint words
         // they add) are bit-identical across runs and thread counts.
-        if (model_) {
+        if (tiers_[m].model) {
             const Clock::time_point c0 = Clock::now();
             for (const PendingRequest &pr : batch) {
                 const sample::SampledSubgraph &sg = pr.subgraph;
@@ -331,7 +425,8 @@ Server::serve(const std::vector<InferenceRequest> &trace)
                     dataset_.features.gather_row(
                         sg.nodes[static_cast<size_t>(i)],
                         x.row(i).data());
-                const compute::Tensor logits = model_->forward(sg, x);
+                const compute::Tensor logits =
+                    tiers_[m].model->forward(sg, x);
                 std::vector<int> &pred =
                     responses[static_cast<size_t>(pr.request.id)]
                         .predicted;
@@ -353,46 +448,96 @@ Server::serve(const std::vector<InferenceRequest> &trace)
         }
     };
 
+    // Wait-triggered batch closes up to virtual time @p now. When
+    // several tiers have a closed batch contending for the device,
+    // deficit round robin (costed with the admitted requests' modelled
+    // compute seconds) picks the dispatch order — a cheap tier is not
+    // starved behind an expensive one.
+    auto flush_closed = [&](double now) {
+        for (;;) {
+            std::vector<char> ready(num_tiers, 0);
+            size_t num_ready = 0;
+            size_t only = 0;
+            for (size_t m = 0; m < num_tiers; ++m) {
+                if (!batchers[m].empty() &&
+                    batchers[m].close_time() <= now) {
+                    ready[m] = 1;
+                    only = m;
+                    ++num_ready;
+                }
+            }
+            if (num_ready == 0)
+                return;
+            const size_t m = num_ready == 1
+                                 ? only
+                                 : drr.pick(ready, pending_cost);
+            dispatch(m, batchers[m].close_time());
+        }
+    };
+
     auto on_request = [&](Sampled sampled) {
         const InferenceRequest &req = trace[sampled.index];
+        const size_t m = static_cast<size_t>(req.model);
+        const size_t cls = static_cast<size_t>(req.priority);
         const double now = req.arrival;
         vs.last_event = std::max(vs.last_event, now);
+        ++vs.tallies.per_class[cls].offered;
+        ++vs.tallies.per_model[m].offered;
 
         // Wait-triggered batch closes that fall before this arrival.
-        while (!batcher.empty() && batcher.close_time() <= now)
-            dispatch(batcher.close_time());
+        flush_closed(now);
         // Retire requests whose batches completed by now.
         while (!vs.inflight.empty() && vs.inflight.front() <= now)
             vs.inflight.pop_front();
 
         // Embedding cache: a request whose every target has a fresh
-        // embedding skips sampling, PCIe, and compute entirely.
-        bool all_fresh = embeddings.enabled() && !req.targets.empty();
+        // embedding (from this tier's model) skips sampling, PCIe,
+        // and compute entirely.
+        bool all_fresh =
+            embeddings[m].enabled() && !req.targets.empty();
         for (graph::NodeId node : req.targets)
-            all_fresh = embeddings.lookup(node, now) && all_fresh;
+            all_fresh = embeddings[m].lookup(node, now) && all_fresh;
         if (all_fresh) {
             respond(req, Outcome::kEmbeddingHit,
                     now + spec_.kernel_launch_latency, -1);
             return;
         }
 
-        // Admission control.
-        const int64_t pending =
-            static_cast<int64_t>(batcher.size() + vs.inflight.size());
-        if (opts_.admission.max_pending > 0 &&
-            pending >= opts_.admission.max_pending) {
-            respond(req, Outcome::kShedQueue, 0.0, -1);
-            return;
+        // Admission control. The pending bound is weighted per class:
+        // best-effort traffic is refused while the queue still has
+        // room for standard and paid traffic, so overload sheds in
+        // strict class order.
+        int64_t pending = static_cast<int64_t>(vs.inflight.size());
+        for (const DynamicBatcher &b : batchers)
+            pending += static_cast<int64_t>(b.size());
+        if (opts_.admission.max_pending > 0) {
+            const int64_t bound = std::max<int64_t>(
+                1, static_cast<int64_t>(
+                       static_cast<double>(
+                           opts_.admission.max_pending) *
+                       opts_.admission.class_weight[cls]));
+            if (pending >= bound) {
+                respond(req, Outcome::kShedQueue, 0.0, -1);
+                return;
+            }
         }
         if (opts_.admission.early_drop &&
-            std::max(vs.gpu_free_at, now) >= req.deadline) {
+            std::max(vs.gpu_free_at, now) >=
+                req.deadline -
+                    opts_.admission.deadline_headroom[cls]) {
             respond(req, Outcome::kDroppedDeadline, 0.0, -1);
             return;
         }
 
-        batcher.admit({req, std::move(sampled.sg)}, now);
-        if (batcher.full())
-            dispatch(now);
+        // Admit: the request's modelled compute cost feeds the DRR
+        // arbiter's estimate of what this tier's open batch will
+        // charge the shared device.
+        const compute::ComputeCost cc = cost_model_.training_step(
+            tiers_[m].config.model, sampled.sg);
+        pending_cost[m] += cc.forward + cc.preprocess;
+        batchers[m].admit({req, std::move(sampled.sg)}, now);
+        if (batchers[m].full())
+            dispatch(m, now);
     };
 
     std::mutex merge_mu; ///< Guards stats_.worker_sample_seconds.
@@ -400,10 +545,20 @@ Server::serve(const std::vector<InferenceRequest> &trace)
     auto worker = [&] {
         util::SampleStat local;
         try {
-            sample::NeighborSamplerOptions nopts;
-            nopts.fanouts = opts_.fanouts;
-            nopts.seed = opts_.seed + 101;
-            sample::NeighborSampler sampler(dataset_.graph, nopts);
+            // One sampler per tier: tiers may sample with different
+            // fanouts. A request's subgraph is a pure function of
+            // (seed, request id, tier fanouts), never of the worker.
+            std::vector<std::unique_ptr<sample::NeighborSampler>>
+                samplers;
+            samplers.reserve(num_tiers);
+            for (const Tier &tier : tiers_) {
+                sample::NeighborSamplerOptions nopts;
+                nopts.fanouts = tier.config.fanouts;
+                nopts.seed = opts_.seed + 101;
+                samplers.push_back(
+                    std::make_unique<sample::NeighborSampler>(
+                        dataset_.graph, nopts));
+            }
             for (;;) {
                 const std::optional<size_t> index = work_queue.pop();
                 if (!index)
@@ -414,10 +569,12 @@ Server::serve(const std::vector<InferenceRequest> &trace)
                 const Clock::time_point t0 = Clock::now();
                 Sampled sampled;
                 sampled.index = *index;
-                sampled.sg = sampler.sample(
-                    req.targets,
-                    util::derive_seed(opts_.seed, kSampleStream,
-                                      static_cast<uint64_t>(req.id)));
+                sampled.sg =
+                    samplers[static_cast<size_t>(req.model)]->sample(
+                        req.targets,
+                        util::derive_seed(
+                            opts_.seed, kSampleStream,
+                            static_cast<uint64_t>(req.id)));
                 local.add(seconds_since(t0));
                 if (!done_queue.push(std::move(sampled)))
                     break; // closed (stop) or failed
@@ -479,10 +636,26 @@ Server::serve(const std::vector<InferenceRequest> &trace)
             }
             vs.processed = next;
             if (next == total) {
-                // Trace exhausted: let the wait timer run out on the
-                // final partial batch.
-                while (!batcher.empty())
-                    dispatch(batcher.close_time());
+                // Trace exhausted: drain the final partial batches,
+                // still DRR-arbitrated when several tiers hold one.
+                for (;;) {
+                    std::vector<char> ready(num_tiers, 0);
+                    size_t num_ready = 0;
+                    size_t only = 0;
+                    for (size_t m = 0; m < num_tiers; ++m) {
+                        if (!batchers[m].empty()) {
+                            ready[m] = 1;
+                            only = m;
+                            ++num_ready;
+                        }
+                    }
+                    if (num_ready == 0)
+                        break;
+                    const size_t m =
+                        num_ready == 1 ? only
+                                       : drr.pick(ready, pending_cost);
+                    dispatch(m, batchers[m].close_time());
+                }
             }
         } catch (...) {
             fail(std::current_exception());
@@ -552,12 +725,45 @@ Server::serve(const std::vector<InferenceRequest> &trace)
             ? static_cast<double>(st.shed_queue + st.dropped_deadline) /
                   static_cast<double>(st.offered)
             : 0.0;
+    st.per_class = tl.per_class;
+    const double class_ps[] = {50.0, 99.0};
+    for (PriorityClassStats &cls : st.per_class) {
+        const std::vector<double> cpct =
+            cls.latencies.percentiles(class_ps);
+        cls.p50_latency = cpct[0];
+        cls.p99_latency = cpct[1];
+        cls.shed_rate =
+            cls.offered
+                ? static_cast<double>(cls.shed_queue +
+                                      cls.dropped_deadline) /
+                      static_cast<double>(cls.offered)
+                : 0.0;
+    }
+    st.per_model = tl.per_model;
+    int64_t embed_hits = 0, embed_misses = 0;
+    for (size_t m = 0; m < num_tiers; ++m) {
+        ModelTierStats &tier = st.per_model[m];
+        tier.name = tiers_[m].config.name;
+        tier.mean_batch_size =
+            tier.batches ? tier.mean_batch_size /
+                               static_cast<double>(tier.batches)
+                         : 0.0;
+        tier.embedding_hit_rate = embeddings[m].hit_rate();
+        embed_hits += embeddings[m].hits();
+        embed_misses += embeddings[m].misses();
+    }
+    st.warmed = tl.warmed;
+    st.warmed_rows = tl.warmed_rows;
     if (feature_cache_) {
         st.feature_hits = feature_cache_->hits();
         st.feature_misses = feature_cache_->misses();
         st.feature_hit_rate = feature_cache_->hit_rate();
     }
-    st.embedding_hit_rate = embeddings.hit_rate();
+    st.embedding_hit_rate =
+        embed_hits + embed_misses
+            ? static_cast<double>(embed_hits) /
+                  static_cast<double>(embed_hits + embed_misses)
+            : 0.0;
     st.gpu_busy_seconds = vs.busy;
     st.gpu_utilization =
         st.makespan > 0.0 ? vs.busy / st.makespan : 0.0;

@@ -25,18 +25,33 @@
  *                     per-request RNG stream)       time event machine)
  *
  * The sequencer replays requests in arrival order and runs the entire
- * virtual-time state machine — batcher, caches, admission — alone, the
+ * virtual-time state machine — batchers, caches, admission — alone, the
  * same single-writer discipline that keeps the training pipeline's
  * Match/Reorder chain deterministic. Workers sample every request's
  * ego-net speculatively, before admission is decided: the per-request
  * RNG streams make that safe (a shed request's subgraph is simply
  * discarded) and it keeps the expensive host work off the sequencer.
+ *
+ * One Server can host several model tiers (ServerOptions::models, e.g.
+ * a cheap GCN tier next to an expensive GAT tier) behind one front
+ * door: each tier owns a DynamicBatcher and an EmbeddingCache, while
+ * the device timeline (`gpu_free_at`), the layer-0 feature cache, and
+ * admission control are shared. Closed batches from different tiers
+ * are interleaved by deficit round robin (DrrScheduler) costed in
+ * modelled seconds, requests carry a Priority class that admission
+ * control sheds in class order under overload, and a recorded warmup
+ * trace (ServerOptions::warmup) can seed both caches so the server
+ * does not start cold. All of it stays on the virtual clock:
+ * bit-identical at any worker count, per class and per tier.
  */
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "compute/compute_cost.h"
@@ -48,6 +63,7 @@
 #include "serve/batcher.h"
 #include "serve/embedding_cache.h"
 #include "serve/request.h"
+#include "serve/scheduler.h"
 #include "sim/gpu_spec.h"
 #include "sim/kernel_model.h"
 #include "util/bounded_queue.h"
@@ -73,6 +89,47 @@ struct AdmissionPolicy
      * start executing (serving it late helps nobody).
      */
     bool early_drop = true;
+    /**
+     * Per-class share of max_pending, indexed by Priority: class c is
+     * shed once pending >= max_pending * class_weight[c]. Descending
+     * weights make lower classes shed at shallower queues, so under
+     * overload best-effort traffic is refused while the queue still
+     * has room for paid traffic — the paid tail survives a spike that
+     * drowns best-effort. All-equal weights restore the classless
+     * behaviour of earlier PRs.
+     */
+    std::array<double, kNumPriorityClasses> class_weight = {1.0, 0.75,
+                                                            0.5};
+    /**
+     * Per-class early-drop headroom (virtual seconds): class c is
+     * dropped when its batch could not start before deadline -
+     * headroom[c]. Positive headroom for lower classes drops them
+     * while the backlog is still survivable for paid requests.
+     */
+    std::array<double, kNumPriorityClasses> deadline_headroom = {
+        0.0, 0.0, 0.0};
+};
+
+/**
+ * One hosted model behind the shared front door — e.g. a cheap GCN
+ * tier next to an expensive GAT tier. Each tier owns its own batcher
+ * and embedding cache (embeddings are per-model outputs); the device
+ * timeline, the layer-0 feature cache, and admission control are
+ * shared across tiers.
+ */
+struct ModelTier
+{
+    /** Display name used in statistics and CLI output. */
+    std::string name = "default";
+    /** Architecture served by this tier; 0 dims resolve from the
+     *  dataset, num_layers from the tier's fanouts. */
+    compute::ModelConfig model;
+    /** Per-tier micro-batching policy. */
+    BatcherPolicy batcher;
+    /** Per-tier output-embedding cache. */
+    EmbeddingCacheOptions embedding;
+    /** Per-layer sampling fanouts; empty = ServerOptions::fanouts. */
+    std::vector<int> fanouts;
 };
 
 /** Everything configurable about one serving run. */
@@ -84,17 +141,43 @@ struct ServerOptions
     size_t queue_depth = 8;
     /** Per-layer sampling fanouts, input layer first (as training). */
     std::vector<int> fanouts = {5, 10, 15};
-    /** Served model; in_dim/num_classes 0 = resolve from the dataset. */
+    /** Served model; in_dim/num_classes 0 = resolve from the dataset.
+     *  Ignored when `models` is non-empty. */
     compute::ModelConfig model;
+    /** Batcher policy of the single-model configuration; ignored when
+     *  `models` is non-empty (each tier brings its own). */
     BatcherPolicy batcher;
+    /**
+     * Hosted model tiers. Empty (the default) serves the single model
+     * described by the legacy `model`/`batcher`/`embedding` fields —
+     * exactly the pre-multi-model behaviour. Each InferenceRequest
+     * routes to tiers[request.model].
+     */
+    std::vector<ModelTier> models;
     AdmissionPolicy admission;
+    /**
+     * DRR quantum (modelled seconds) for interleaving per-tier batches
+     * on the shared device timeline; see DrrScheduler.
+     */
+    double drr_quantum = 1e-3;
+    /**
+     * Warmup trace recorded from a training epoch (or any presample
+     * sweep). When non-empty: the feature-cache hotness ranking is
+     * presample_ranking(warmup.frequencies) — overriding cache_policy —
+     * and every serve() call starts with each tier's embedding cache
+     * seeded with the hottest nodes at virtual time 0 instead of cold.
+     */
+    match::WarmupTrace warmup;
     /**
      * Layer-0 feature cache capacity as a fraction of all nodes;
      * 0 disables the feature cache.
      */
     double feature_cache_ratio = 0.2;
-    /** Hotness ranking that fills the feature cache. */
+    /** Hotness ranking that fills the feature cache (overridden by a
+     *  non-empty warmup trace). */
     match::CachePolicy cache_policy = match::CachePolicy::kDegree;
+    /** Embedding cache of the single-model configuration; ignored when
+     *  `models` is non-empty (each tier brings its own). */
     EmbeddingCacheOptions embedding;
     /**
      * Run the real numeric forward pass for every dispatched batch and
@@ -112,6 +195,37 @@ struct ServerOptions
     // --- Test hooks (no-ops when unset; not for production use) ---
     /** Called in a worker thread before sampling request @p id. */
     std::function<void(int64_t id)> sample_hook;
+};
+
+/** Per-priority-class slice of a serving run (virtual clock). */
+struct PriorityClassStats
+{
+    int64_t offered = 0;          ///< Requests of this class processed.
+    int64_t served = 0;           ///< Any served outcome, incl. late.
+    int64_t served_late = 0;      ///< Served after the deadline.
+    int64_t embedding_hits = 0;   ///< Answered from an embedding cache.
+    int64_t shed_queue = 0;       ///< Refused: weighted queue bound hit.
+    int64_t dropped_deadline = 0; ///< Refused: could not start in time.
+    double shed_rate = 0.0;       ///< Refused fraction of this class.
+    double p50_latency = 0.0;     ///< Over served requests of the class.
+    double p99_latency = 0.0;
+    /** Virtual latencies of this class's served requests. */
+    util::SampleStat latencies;
+};
+
+/** Per-model-tier slice of a serving run (virtual clock). */
+struct ModelTierStats
+{
+    std::string name;             ///< ModelTier::name.
+    int64_t offered = 0;          ///< Requests routed to this tier.
+    int64_t served = 0;           ///< Any served outcome, incl. late.
+    int64_t embedding_hits = 0;   ///< Served from this tier's cache.
+    int64_t batches = 0;          ///< Micro-batches dispatched.
+    double mean_batch_size = 0.0; ///< Requests per dispatched batch.
+    double gpu_busy_seconds = 0.0;///< Device seconds this tier used.
+    double embedding_hit_rate = 0.0;
+    /** Rows pre-seeded into this tier's embedding cache at start. */
+    int64_t warmed_rows = 0;
 };
 
 /** Statistics of one serving run (one trace through Server::serve). */
@@ -153,6 +267,14 @@ struct ServingStats
     bool stopped_early = false;   ///< request_stop() cut the run short.
     /** Virtual latencies of served requests (for custom percentiles). */
     util::SampleStat latencies;
+    /** Per-priority-class breakdown, indexed by Priority. */
+    std::array<PriorityClassStats, kNumPriorityClasses> per_class;
+    /** Per-model-tier breakdown, one entry per hosted tier. */
+    std::vector<ModelTierStats> per_model;
+    /** True when the run started from a warmup trace (seeded caches). */
+    bool warmed = false;
+    /** Embedding rows pre-seeded across all tiers (0 on cold starts). */
+    int64_t warmed_rows = 0;
 
     // --- Measured host-side (vary run to run; never fed back) ---
     double wall_seconds = 0.0;
@@ -177,10 +299,12 @@ class Server
 
     /**
      * Serve @p trace (arrival-ordered, dense ids from 0 — what
-     * LoadGenerator::generate produces). Blocks until the trace is
-     * processed or request_stop() aborts it; returns one response per
-     * request, trace order. Each call starts with cold caches, so the
-     * same trace always produces the same responses.
+     * LoadGenerator::generate produces; request.model must index a
+     * hosted tier). Blocks until the trace is processed or
+     * request_stop() aborts it; returns one response per request,
+     * trace order. Each call starts from the same cache state — cold,
+     * or warm-seeded when a warmup trace is configured — so the same
+     * trace always produces the same responses.
      */
     std::vector<InferenceResponse>
     serve(const std::vector<InferenceRequest> &trace);
@@ -211,17 +335,39 @@ class Server
 
     int worker_threads() const { return worker_threads_; }
     int64_t feature_cache_rows() const { return feature_rows_; }
-    int64_t embedding_cache_rows() const
+    /** Resolved embedding-cache capacity of tier @p model. */
+    int64_t
+    embedding_cache_rows(size_t model = 0) const
     {
-        return embedding_opts_.capacity_rows;
+        return tiers_[model].embedding.capacity_rows;
     }
+    /** Number of hosted model tiers (>= 1). */
+    size_t num_models() const { return tiers_.size(); }
+    /** Resolved configuration of tier @p model. */
+    const ModelTier &tier(size_t model) const
+    {
+        return tiers_[model].config;
+    }
+    /** True when a warmup trace seeds the caches (see ServerOptions). */
+    bool warmed() const { return !opts_.warmup.empty(); }
     const ServerOptions &options() const { return opts_; }
 
   private:
     struct BatchCost;
 
-    /** Modelled service seconds of one closed micro-batch. */
-    BatchCost cost_batch(const std::vector<PendingRequest> &batch);
+    /** One hosted tier's resolved runtime state. */
+    struct Tier
+    {
+        ModelTier config;               ///< Dims/fanouts resolved.
+        EmbeddingCacheOptions embedding;///< Capacity resolved.
+        /** Real-forward model; non-null iff opts_.compute_logits.
+         *  Touched only by the sequencer thread during serve(). */
+        std::unique_ptr<compute::GnnModel> model;
+    };
+
+    /** Modelled service seconds of one closed micro-batch of @p tier. */
+    BatchCost cost_batch(size_t tier,
+                         const std::vector<PendingRequest> &batch);
 
     const graph::Dataset &dataset_;
     ServerOptions opts_;
@@ -231,7 +377,7 @@ class Server
     std::vector<graph::NodeId> ranking_;
     std::optional<match::StaticFeatureCache> feature_cache_;
     int64_t feature_rows_ = 0;
-    EmbeddingCacheOptions embedding_opts_; ///< capacity resolved.
+    std::vector<Tier> tiers_; ///< >= 1; [0] is the legacy single model.
     int worker_threads_ = 1;
     /**
      * Batch-level ID dedup table, reused across dispatches (sequencer
@@ -239,10 +385,9 @@ class Server
      * batch uniques, as in the samplers).
      */
     sample::FusedHashTable table_;
-    /** Real-forward machinery; non-null iff opts_.compute_logits.
-     *  Touched only by the sequencer thread during serve(). */
+    /** Kernel engine for compute_logits forwards; shared by all tiers
+     *  (deterministic at any width). Non-null iff compute_logits. */
     std::unique_ptr<compute::KernelEngine> engine_;
-    std::unique_ptr<compute::GnnModel> model_;
     util::StageShutdown shutdown_;
     ServingStats stats_;
 };

@@ -469,8 +469,9 @@ TEST(ComputeKernels, ReverseCsrIsTheExactAdjoint)
     for (int64_t v = 0; v < rc.num_sources; ++v) {
         for (graph::EdgeId i = rc.indptr[v]; i < rc.indptr[v + 1]; ++i) {
             const graph::EdgeId e = rc.edge_ids[i];
-            if (i > rc.indptr[v])
+            if (i > rc.indptr[v]) {
                 EXPECT_LT(rc.edge_ids[i - 1], e) << "source " << v;
+            }
             ASSERT_GE(e, 0);
             ASSERT_LT(e, blk.num_edges());
             ++seen[static_cast<size_t>(e)];

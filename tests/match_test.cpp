@@ -5,7 +5,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <numeric>
+#include <string>
 
 #include "graph/generators.h"
 #include "match/feature_cache.h"
@@ -256,6 +258,52 @@ TEST(FeatureCache, ZeroCapacityNeverHits)
     std::vector<graph::NodeId> batch = {1, 2, 3};
     EXPECT_EQ(cache.lookup_batch(batch), 3);
     EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Warmup traces
+// ---------------------------------------------------------------------
+
+TEST(WarmupTrace, SaveLoadRoundTripsFrequencies)
+{
+    match::WarmupTrace trace;
+    trace.frequencies = {0, 5, 17, 0, 123456789012345LL, 2};
+    EXPECT_FALSE(trace.empty());
+
+    const std::string path =
+        testing::TempDir() + "fastgl_warmup_roundtrip.trace";
+    ASSERT_TRUE(match::save_warmup_trace(path, trace));
+    const match::WarmupTrace loaded = match::load_warmup_trace(path);
+    EXPECT_EQ(loaded.frequencies, trace.frequencies);
+    std::remove(path.c_str());
+}
+
+TEST(WarmupTrace, LoadOfMissingOrCorruptFileIsEmptyNotFatal)
+{
+    EXPECT_TRUE(
+        match::load_warmup_trace("/nonexistent/warmup.trace").empty());
+
+    const std::string path =
+        testing::TempDir() + "fastgl_warmup_corrupt.trace";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not-a-warmup-trace 3\n1\n2\n3\n", f);
+    std::fclose(f);
+    EXPECT_TRUE(match::load_warmup_trace(path).empty());
+    std::remove(path.c_str());
+}
+
+TEST(WarmupTrace, RankingFromFrequenciesIsHottestFirst)
+{
+    match::WarmupTrace trace;
+    trace.frequencies = {3, 9, 0, 7};
+    const std::vector<graph::NodeId> ranking =
+        match::presample_ranking(trace.frequencies);
+    ASSERT_EQ(ranking.size(), 4u);
+    EXPECT_EQ(ranking[0], 1);
+    EXPECT_EQ(ranking[1], 3);
+    EXPECT_EQ(ranking[2], 0);
+    EXPECT_EQ(ranking[3], 2);
 }
 
 } // namespace

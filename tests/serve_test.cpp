@@ -17,6 +17,7 @@
 #include "serve/batcher.h"
 #include "serve/embedding_cache.h"
 #include "serve/load_generator.h"
+#include "serve/scheduler.h"
 #include "serve/server.h"
 
 namespace fastgl {
@@ -505,6 +506,346 @@ TEST(Serve, WorkerExceptionPropagatesToCaller)
     serve::Server server(products(), opts);
     const auto trace = make_trace(server, 5000.0, 128);
     EXPECT_THROW(server.serve(trace), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// DrrScheduler
+// ---------------------------------------------------------------------
+
+TEST(DrrScheduler, EqualCostsAlternateRoundRobin)
+{
+    serve::DrrScheduler drr(2, 1.0);
+    const std::vector<char> ready = {1, 1};
+    const std::vector<double> cost = {1.0, 1.0};
+    EXPECT_EQ(drr.pick(ready, cost), 0u);
+    EXPECT_EQ(drr.pick(ready, cost), 1u);
+    EXPECT_EQ(drr.pick(ready, cost), 0u);
+    EXPECT_EQ(drr.pick(ready, cost), 1u);
+}
+
+TEST(DrrScheduler, CheapTierIsNotStarvedByExpensiveOne)
+{
+    // Tier 0's batches cost 10x tier 1's. DRR grants equal *service
+    // time*, so tier 1 must dispatch about 10x as often — a cheap GCN
+    // tier is never starved behind an expensive GAT tier.
+    serve::DrrScheduler drr(2, 1e-3);
+    const std::vector<char> ready = {1, 1};
+    const std::vector<double> cost = {10e-3, 1e-3};
+    int picks[2] = {0, 0};
+    for (int i = 0; i < 440; ++i)
+        ++picks[drr.pick(ready, cost)];
+    ASSERT_GT(picks[0], 0);
+    ASSERT_GT(picks[1], 0);
+    const double ratio = double(picks[1]) / double(picks[0]);
+    EXPECT_GT(ratio, 8.0);
+    EXPECT_LT(ratio, 12.5);
+}
+
+TEST(DrrScheduler, OnlyReadyTiersAreEligibleAndResetClearsCredit)
+{
+    serve::DrrScheduler drr(3, 1.0);
+    std::vector<char> ready = {0, 1, 0};
+    const std::vector<double> cost = {1.0, 4.5, 1.0};
+    // Only tier 1 is ready: it wins no matter the cost, accruing
+    // quanta until its credit covers the batch (5 rounds here).
+    EXPECT_EQ(drr.pick(ready, cost), 1u);
+    EXPECT_DOUBLE_EQ(drr.deficit(1), 0.5); // leftover credit banked
+    drr.reset(1);                          // ...until the queue empties
+    EXPECT_DOUBLE_EQ(drr.deficit(1), 0.0);
+}
+
+TEST(DrrScheduler, SequenceIsDeterministic)
+{
+    const std::vector<char> ready = {1, 1, 1};
+    const std::vector<double> cost = {3e-3, 1e-3, 2e-3};
+    std::vector<size_t> a, b;
+    for (int run = 0; run < 2; ++run) {
+        serve::DrrScheduler drr(3, 1e-3);
+        std::vector<size_t> &out = run == 0 ? a : b;
+        for (int i = 0; i < 64; ++i)
+            out.push_back(drr.pick(ready, cost));
+    }
+    EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------
+// Server: priority classes
+// ---------------------------------------------------------------------
+
+std::vector<serve::InferenceRequest>
+make_mixed_trace(const serve::Server &server, double rate_rps,
+                 int64_t num_requests, double slo = 50e-3,
+                 std::vector<double> model_mix = {})
+{
+    serve::LoadGeneratorOptions lopts;
+    lopts.rate_rps = rate_rps;
+    lopts.num_requests = num_requests;
+    lopts.slo_deadline = slo;
+    lopts.class_mix = {0.3, 0.4, 0.3};
+    lopts.model_mix = std::move(model_mix);
+    lopts.seed = 13;
+    serve::LoadGenerator gen(server.popularity(), lopts);
+    return gen.generate();
+}
+
+TEST(LoadGenerator, ClassAndModelMixesDoNotPerturbArrivalsOrTargets)
+{
+    std::vector<graph::NodeId> population(200);
+    for (size_t i = 0; i < population.size(); ++i)
+        population[i] = static_cast<graph::NodeId>(i);
+
+    serve::LoadGeneratorOptions opts;
+    opts.num_requests = 256;
+    opts.seed = 21;
+    serve::LoadGenerator plain(population, opts);
+
+    opts.class_mix = {0.5, 0.3, 0.2};
+    opts.model_mix = {0.6, 0.4};
+    serve::LoadGenerator mixed(population, opts);
+
+    const auto a = plain.generate();
+    const auto b = mixed.generate();
+    ASSERT_EQ(a.size(), b.size());
+    int64_t priorities[serve::kNumPriorityClasses] = {0, 0, 0};
+    int64_t tier1 = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        // The legacy trace replays bit-identically under any mix: class
+        // and model draws live on their own RNG streams.
+        EXPECT_EQ(a[i].arrival, b[i].arrival);
+        EXPECT_EQ(a[i].targets, b[i].targets);
+        EXPECT_EQ(a[i].priority, serve::Priority::kStandard);
+        EXPECT_EQ(a[i].model, 0);
+        ++priorities[static_cast<size_t>(b[i].priority)];
+        tier1 += b[i].model == 1 ? 1 : 0;
+    }
+    // All classes and both tiers are represented roughly per the mix.
+    for (int64_t count : priorities)
+        EXPECT_GT(count, 256 / 10);
+    EXPECT_GT(tier1, 256 / 4);
+    EXPECT_LT(tier1, 3 * 256 / 4);
+}
+
+TEST(Serve, BestEffortShedsStrictlyBeforePaidUnderOverload)
+{
+    // ~2x overload with default class weights {1.0, 0.75, 0.5}:
+    // best-effort is refused once the pending queue is half full,
+    // leaving headroom that keeps every paid request on time.
+    auto opts = base_server_options();
+    opts.admission.max_pending = 48;
+    serve::Server server(products(), opts);
+    const auto trace = make_mixed_trace(server, 40000.0, 768, 20e-3);
+    server.serve(trace);
+    const serve::ServingStats st = server.last_stats();
+
+    const serve::PriorityClassStats &paid =
+        st.per_class[static_cast<size_t>(serve::Priority::kPaid)];
+    const serve::PriorityClassStats &std_cls =
+        st.per_class[static_cast<size_t>(serve::Priority::kStandard)];
+    const serve::PriorityClassStats &be = st.per_class[static_cast<
+        size_t>(serve::Priority::kBestEffort)];
+    ASSERT_GT(paid.offered, 0);
+    ASSERT_GT(be.offered, 0);
+
+    // The overload is real and the shedding is strictly ordered:
+    // best-effort drops while paid loses nothing — not to the queue
+    // bound, not to early drop, not to a blown deadline.
+    EXPECT_GT(be.shed_queue, 0);
+    EXPECT_EQ(paid.shed_queue, 0);
+    EXPECT_EQ(paid.dropped_deadline, 0);
+    EXPECT_EQ(paid.served_late, 0);
+    EXPECT_EQ(paid.served, paid.offered);
+    EXPECT_GE(be.shed_rate, std_cls.shed_rate);
+    EXPECT_GE(std_cls.shed_rate, paid.shed_rate);
+    // Per-class tallies partition the global ones.
+    EXPECT_EQ(paid.offered + std_cls.offered + be.offered, st.offered);
+    EXPECT_EQ(paid.served + std_cls.served + be.served, st.served);
+    EXPECT_EQ(paid.shed_queue + std_cls.shed_queue + be.shed_queue,
+              st.shed_queue);
+}
+
+TEST(Serve, EqualClassWeightsRestoreClasslessBehaviour)
+{
+    auto classless = base_server_options();
+    classless.admission.class_weight = {1.0, 1.0, 1.0};
+    classless.admission.deadline_headroom = {0.0, 0.0, 0.0};
+    serve::Server server(products(), classless);
+    const auto trace = make_mixed_trace(server, 120000.0, 512, 20e-3);
+    server.serve(trace);
+    const serve::ServingStats st = server.last_stats();
+    // With equal weights every class faces the same bound; under the
+    // same overload the shed rates no longer order strictly by class
+    // (the mix is interleaved, so rates land close together).
+    ASSERT_GT(st.shed_queue + st.dropped_deadline, 0);
+    const double be_rate = st.per_class[2].shed_rate;
+    const double paid_rate = st.per_class[0].shed_rate;
+    EXPECT_LT(be_rate - paid_rate, 0.25);
+}
+
+// ---------------------------------------------------------------------
+// Server: cache warmup
+// ---------------------------------------------------------------------
+
+match::WarmupTrace
+degree_warmup(const graph::Dataset &ds)
+{
+    // A warmup trace shaped like training traffic: frequency = degree
+    // (hot hubs dominate sampled subgraphs, as a Trainer recording
+    // would show).
+    match::WarmupTrace trace;
+    const int64_t n = ds.graph.num_nodes();
+    trace.frequencies.resize(static_cast<size_t>(n));
+    for (int64_t u = 0; u < n; ++u)
+        trace.frequencies[static_cast<size_t>(u)] = ds.graph.degree(u);
+    return trace;
+}
+
+TEST(Serve, WarmupSeedsEmbeddingCacheAndLiftsHitRate)
+{
+    const double rate = 20000.0;
+    const int64_t n = 512;
+
+    auto cold_opts = base_server_options();
+    serve::Server cold(products(), cold_opts);
+    const auto trace = make_trace(cold, rate, n);
+    cold.serve(trace);
+    const serve::ServingStats cold_st = cold.last_stats();
+    EXPECT_FALSE(cold.warmed());
+    EXPECT_FALSE(cold_st.warmed);
+    EXPECT_EQ(cold_st.warmed_rows, 0);
+
+    auto warm_opts = base_server_options();
+    warm_opts.warmup = degree_warmup(products());
+    serve::Server warm(products(), warm_opts);
+    warm.serve(trace);
+    const serve::ServingStats warm_st = warm.last_stats();
+
+    EXPECT_TRUE(warm.warmed());
+    EXPECT_TRUE(warm_st.warmed);
+    EXPECT_EQ(warm_st.warmed_rows, warm.embedding_cache_rows());
+    // The seeded rows answer the trace's hot prefix without compute:
+    // strictly more embedding hits than the cold start, and no request
+    // is worse off.
+    EXPECT_GT(warm_st.embedding_hits, cold_st.embedding_hits);
+    EXPECT_GT(warm_st.embedding_hit_rate, cold_st.embedding_hit_rate);
+    EXPECT_GE(warm_st.served - warm_st.served_late,
+              cold_st.served - cold_st.served_late);
+    EXPECT_LE(warm_st.gpu_busy_seconds, cold_st.gpu_busy_seconds);
+}
+
+TEST(Serve, WarmedRunIsBitIdenticalAcrossRepeatsAndThreadCounts)
+{
+    auto opts = base_server_options();
+    opts.worker_threads = 1;
+    opts.warmup = degree_warmup(products());
+    serve::Server reference(products(), opts);
+    const auto trace = make_trace(reference, 3000.0, 256);
+    reference.serve(trace);
+    const serve::ServingStats ref = reference.last_stats();
+
+    reference.serve(trace); // seeding happens identically per call
+    expect_identical_serving(ref, reference.last_stats());
+
+    opts.worker_threads = 8;
+    serve::Server threaded(products(), opts);
+    threaded.serve(trace);
+    expect_identical_serving(ref, threaded.last_stats());
+}
+
+// ---------------------------------------------------------------------
+// Server: multi-model tiers
+// ---------------------------------------------------------------------
+
+serve::ServerOptions
+two_tier_options()
+{
+    auto opts = base_server_options();
+    serve::ModelTier cheap;
+    cheap.name = "gcn";
+    cheap.model.type = compute::ModelType::kGcn;
+    serve::ModelTier expensive;
+    expensive.name = "gat";
+    expensive.model.type = compute::ModelType::kGat;
+    expensive.batcher.max_batch = 16;
+    opts.models = {cheap, expensive};
+    return opts;
+}
+
+TEST(Serve, TwoTierMixedPriorityBitIdenticalAcrossWorkerCounts)
+{
+    auto opts = two_tier_options();
+    opts.worker_threads = 1;
+    serve::Server reference_server(products(), opts);
+    ASSERT_EQ(reference_server.num_models(), 2u);
+    const auto trace = make_mixed_trace(reference_server, 4000.0, 384,
+                                        50e-3, {0.7, 0.3});
+    const auto reference = reference_server.serve(trace);
+    const serve::ServingStats ref = reference_server.last_stats();
+    EXPECT_GT(ref.served, 0);
+    ASSERT_EQ(ref.per_model.size(), 2u);
+    EXPECT_GT(ref.per_model[0].offered, 0);
+    EXPECT_GT(ref.per_model[1].offered, 0);
+    EXPECT_EQ(ref.per_model[0].offered + ref.per_model[1].offered,
+              ref.offered);
+    EXPECT_EQ(ref.per_model[0].name, "gcn");
+    EXPECT_EQ(ref.per_model[1].name, "gat");
+
+    for (int threads : {4, 8}) {
+        auto topts = two_tier_options();
+        topts.worker_threads = threads;
+        serve::Server server(products(), topts);
+        const auto responses = server.serve(trace);
+        const serve::ServingStats st = server.last_stats();
+        expect_identical_serving(ref, st);
+        for (size_t m = 0; m < 2; ++m) {
+            EXPECT_EQ(st.per_model[m].offered, ref.per_model[m].offered);
+            EXPECT_EQ(st.per_model[m].served, ref.per_model[m].served);
+            EXPECT_EQ(st.per_model[m].batches, ref.per_model[m].batches);
+            EXPECT_EQ(st.per_model[m].gpu_busy_seconds,
+                      ref.per_model[m].gpu_busy_seconds);
+        }
+        for (size_t c = 0; c < serve::kNumPriorityClasses; ++c) {
+            EXPECT_EQ(st.per_class[c].served, ref.per_class[c].served);
+            EXPECT_EQ(st.per_class[c].p99_latency,
+                      ref.per_class[c].p99_latency);
+        }
+        ASSERT_EQ(responses.size(), reference.size());
+        for (size_t i = 0; i < responses.size(); ++i) {
+            EXPECT_EQ(responses[i].outcome, reference[i].outcome);
+            EXPECT_EQ(responses[i].latency, reference[i].latency);
+            EXPECT_EQ(responses[i].batch_id, reference[i].batch_id);
+        }
+    }
+}
+
+TEST(Serve, SingleModelTraceOnTwoTierServerUsesTierZeroOnly)
+{
+    serve::Server server(products(), two_tier_options());
+    const auto trace = make_trace(server, 3000.0, 128); // model 0 only
+    server.serve(trace);
+    const serve::ServingStats st = server.last_stats();
+    EXPECT_EQ(st.per_model[0].offered, 128);
+    EXPECT_EQ(st.per_model[1].offered, 0);
+    EXPECT_EQ(st.per_model[1].batches, 0);
+    EXPECT_DOUBLE_EQ(st.per_model[1].gpu_busy_seconds, 0.0);
+}
+
+TEST(Serve, ExpensiveTierDoesNotStarveCheapTierOnSharedDevice)
+{
+    // Both tiers see sustained load; DRR grants equal modelled service
+    // time, so the cheap GCN tier keeps dispatching next to the GAT
+    // tier instead of queueing behind it.
+    auto opts = two_tier_options();
+    serve::Server server(products(), opts);
+    const auto trace = make_mixed_trace(server, 30000.0, 768, 50e-3,
+                                        {0.5, 0.5});
+    server.serve(trace);
+    const serve::ServingStats st = server.last_stats();
+    ASSERT_GT(st.per_model[0].batches, 0);
+    ASSERT_GT(st.per_model[1].batches, 0);
+    // The cheap tier serves the bulk of its offered load.
+    EXPECT_GT(
+        double(st.per_model[0].served) / double(st.per_model[0].offered),
+        0.5);
 }
 
 TEST(Serve, StatsAccountHostExecution)

@@ -110,5 +110,48 @@ TEST(Trainer, SgdVariantAlsoLearns)
     EXPECT_LT(last, first.mean_loss * 1.05);
 }
 
+TEST(Trainer, RecordsNodeFrequenciesForWarmup)
+{
+    const graph::Dataset ds = tiny_reddit();
+    core::TrainerOptions opts;
+    opts.fanouts = {4, 4};
+    opts.max_batches = 3;
+    opts.batch_size = 32;
+    opts.record_node_frequencies = true;
+    core::Trainer trainer(ds, opts);
+    const auto stats = trainer.train_epoch();
+
+    ASSERT_EQ(stats.node_frequencies.size(),
+              static_cast<size_t>(ds.graph.num_nodes()));
+    int64_t touched = 0, total = 0;
+    for (int64_t f : stats.node_frequencies) {
+        EXPECT_GE(f, 0);
+        touched += f > 0 ? 1 : 0;
+        total += f;
+    }
+    // Every sampled subgraph node counts once per appearance; three
+    // batches of 32 seeds with fanouts {4,4} touch far more nodes than
+    // seeds but not the whole graph replica.
+    EXPECT_GT(touched, 3 * 32);
+    EXPECT_LT(touched, ds.graph.num_nodes());
+    EXPECT_GE(total, touched);
+
+    // Same seed, fresh trainer: the recording is deterministic.
+    core::Trainer again(ds, opts);
+    EXPECT_EQ(again.train_epoch().node_frequencies,
+              stats.node_frequencies);
+}
+
+TEST(Trainer, FrequencyRecordingOffByDefault)
+{
+    const graph::Dataset ds = tiny_reddit();
+    core::TrainerOptions opts;
+    opts.fanouts = {3, 3};
+    opts.max_batches = 1;
+    opts.batch_size = 16;
+    core::Trainer trainer(ds, opts);
+    EXPECT_TRUE(trainer.train_epoch().node_frequencies.empty());
+}
+
 } // namespace
 } // namespace fastgl

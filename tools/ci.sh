@@ -30,6 +30,19 @@ echo "==> primary configuration (tests built with -Werror)"
 run_config build-ci -DFASTGL_TEST_WERROR=ON
 ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
+# Docs-consistency check: Doxygen in warnings-as-errors mode over the
+# serve + compute headers (docs/Doxyfile-ci), so @param lists that
+# drift from the code fail CI. Skipped, loudly, where doxygen is not
+# installed — the check is a bonus on developer machines, not a new
+# container dependency.
+if command -v doxygen > /dev/null 2>&1; then
+    echo "==> doxygen docs check (serve + compute headers, strict)"
+    doxygen docs/Doxyfile-ci
+    rm -rf build-docs-ci
+else
+    echo "==> doxygen not installed; skipping strict docs check"
+fi
+
 if [[ "${FASTGL_TSAN:-0}" == "1" ]]; then
     echo "==> ThreadSanitizer configuration (concurrency suite)"
     run_config build-tsan -DFASTGL_SANITIZE=thread \
@@ -64,6 +77,20 @@ if [[ "${FASTGL_NO_PERF:-0}" != "1" ]]; then
         | tee BENCH_serving.json
     python3 -m json.tool BENCH_serving.json > /dev/null
     grep -q '"all_p99_finite": true' BENCH_serving.json
+
+    # Multi-model serving smoke: two tiers (GCN + GAT) under a mixed
+    # paid/standard/best-effort trace, cold vs warm-seeded caches. The
+    # bench gates on its own virtual-clock invariants (paid isolation
+    # under overload, warmup lifting hit rate and tail, no tier
+    # starved) and exits non-zero when any fails; all deterministic,
+    # so safe to fail CI on.
+    echo "==> multi-model serving smoke (Release)"
+    cmake --build build-perf-ci --target bench_ext_serving_multimodel \
+        -j "$JOBS"
+    ./build-perf-ci/bench/bench_ext_serving_multimodel --smoke \
+        | tee BENCH_serving_multimodel.json
+    python3 -m json.tool BENCH_serving_multimodel.json > /dev/null
+    grep -q '"ok": true' BENCH_serving_multimodel.json
 
     # Compute-kernel smoke: blocked GEMM + reverse-CSR aggregation vs
     # their in-bench legacy replicas. The bench exits non-zero if any

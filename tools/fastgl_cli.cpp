@@ -17,6 +17,7 @@
  *   fastgl_cli serve --dataset products --rate 20000 --requests 2048
  *   fastgl_cli info  --dataset mag
  */
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -28,16 +29,29 @@ namespace {
 
 using namespace fastgl;
 
-/** Tiny argv parser: --key value pairs after the mode word. */
+/**
+ * Tiny argv parser after the mode word: --key value pairs, plus bare
+ * --flags (no value, e.g. --help) stored as "1".
+ */
 class Args
 {
   public:
     Args(int argc, char **argv)
     {
-        for (int i = 2; i + 1 < argc; i += 2) {
-            if (std::strncmp(argv[i], "--", 2) == 0)
-                values_[argv[i] + 2] = argv[i + 1];
+        for (int i = 2; i < argc; ++i) {
+            if (std::strncmp(argv[i], "--", 2) != 0)
+                continue;
+            const bool has_value =
+                i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0;
+            values_[argv[i] + 2] = has_value ? argv[i + 1] : "1";
+            if (has_value)
+                ++i;
         }
+    }
+
+    bool has(const std::string &key) const
+    {
+        return values_.count(key) != 0;
     }
 
     std::string
@@ -104,6 +118,100 @@ parse_model(const std::string &name)
     util::fatal("unknown model '" + name + "' (gcn|gin|gat)");
 }
 
+void
+usage_model()
+{
+    std::printf(
+        "usage: fastgl_cli model [--key value]...\n"
+        "Run modelled training epochs under a framework preset and\n"
+        "print the phase breakdown (sample / id-map / io / compute).\n"
+        "  --dataset D      reddit|products|mag|igb|papers100m "
+        "(products)\n"
+        "  --framework F    pyg|dgl|gnnadvisor|gnnlab|fastgl (fastgl)\n"
+        "  --model M        gcn|gin|gat (gcn)\n"
+        "  --gpus N         modelled GPUs per machine (2)\n"
+        "  --machines N     modelled machines (1)\n"
+        "  --epochs N       epochs to run (1)\n"
+        "  --batch N        batch size; 0 = dataset default (0)\n"
+        "  --max-batches N  cap batches per epoch; 0 = all (0)\n"
+        "  --scale-pct N    replica scale percent (100)\n"
+        "  --seed N         RNG seed (1)\n");
+}
+
+void
+usage_train()
+{
+    std::printf(
+        "usage: fastgl_cli train [--key value]...\n"
+        "Run real numeric training (forward/backward on the host\n"
+        "kernel engine) and print the loss curve.\n"
+        "  --dataset D          reddit|products|mag|igb|papers100m "
+        "(products)\n"
+        "  --model M            gcn|gin|gat (gcn)\n"
+        "  --epochs N           epochs to run (3)\n"
+        "  --batch N            batch size; 0 = dataset default (0)\n"
+        "  --max-batches N      cap batches per epoch; 0 = all (10)\n"
+        "  --lr-milli N         learning rate in thousandths (3)\n"
+        "  --compute-threads N  kernel-engine width; results are\n"
+        "                       bit-identical at any width (preset)\n"
+        "  --scale-pct N        replica scale percent (50)\n"
+        "  --save-warmup PATH   record per-node access frequencies\n"
+        "                       over all epochs and write a serving\n"
+        "                       warmup trace (see serve --warmup)\n"
+        "  --seed N             RNG seed (3407)\n");
+}
+
+void
+usage_serve()
+{
+    std::printf(
+        "usage: fastgl_cli serve [--key value]...\n"
+        "Serve a synthetic Poisson inference trace on the virtual\n"
+        "clock and print latency / shedding / cache statistics.\n"
+        "workload:\n"
+        "  --dataset D        reddit|products|mag|igb|papers100m "
+        "(products)\n"
+        "  --rate RPS         offered load, requests/s (20000)\n"
+        "  --requests N       trace length (2048)\n"
+        "  --slo-ms N         per-request deadline, ms (20)\n"
+        "  --targets N        target nodes per request (1)\n"
+        "  --mix-paid PCT     share of paid requests (0)\n"
+        "  --mix-std PCT      share of standard requests (100)\n"
+        "  --mix-be PCT       share of best-effort requests (0)\n"
+        "server:\n"
+        "  --model M          gcn|gin|gat for tier 0 (gcn)\n"
+        "  --model2 M         add a second model tier (off)\n"
+        "  --model2-share PCT traffic routed to tier 1 (30)\n"
+        "  --batch-max N      close batch at N requests (32)\n"
+        "  --wait-us N        close batch after N us wait (2000)\n"
+        "  --max-pending N    admission queue bound; <=0 off (64)\n"
+        "  --drr-quantum-us N DRR quantum between tiers, us (1000)\n"
+        "  --cache-pct N      feature-cache capacity percent (20)\n"
+        "  --embed-rows N     embedding-cache rows; -1 = auto (-1)\n"
+        "  --warmup PATH      seed caches from a warmup trace\n"
+        "                     recorded by train --save-warmup (off)\n"
+        "  --threads N        host sampler threads; no effect on\n"
+        "                     modelled results (4)\n"
+        "compute:\n"
+        "  --logits 0|1       run the real forward per batch and\n"
+        "                     fill predictions (0)\n"
+        "  --compute-threads N kernel-engine width for --logits 1;\n"
+        "                     bit-identical at any width (1)\n"
+        "misc:\n"
+        "  --scale-pct N      replica scale percent (100)\n"
+        "  --seed N           RNG seed (1)\n");
+}
+
+void
+usage_info()
+{
+    std::printf(
+        "usage: fastgl_cli info [--key value]...\n"
+        "Print dataset replica statistics.\n"
+        "  --dataset D  reddit|products|mag|igb|papers100m "
+        "(products)\n");
+}
+
 int
 run_model(const Args &args)
 {
@@ -167,12 +275,15 @@ run_train(const Args &args)
         core::framework_preset(core::Framework::kFastGL)
             .compute_threads));
     opts.seed = uint64_t(args.get_int("seed", 3407));
+    const std::string warmup_path = args.get("save-warmup", "");
+    opts.record_node_frequencies = !warmup_path.empty();
     core::Trainer trainer(ds, opts);
 
     const int epochs = int(args.get_int("epochs", 3));
     std::printf("training %s on %s (%d epochs)\n",
                 compute::model_type_name(opts.model.type),
                 ds.name.c_str(), epochs);
+    match::WarmupTrace warmup;
     for (int e = 0; e < epochs; ++e) {
         const auto stats = trainer.train_epoch();
         std::printf("epoch %d: loss %.4f, accuracy %.3f | host compute "
@@ -183,6 +294,24 @@ run_train(const Args &args)
                     stats.measured_compute.gemm_gflops(),
                     stats.measured_compute.agg_bytes_per_edge(),
                     stats.modelled_compute_seconds);
+        if (opts.record_node_frequencies) {
+            if (warmup.frequencies.empty())
+                warmup.frequencies = stats.node_frequencies;
+            else
+                for (size_t i = 0; i < warmup.frequencies.size(); ++i)
+                    warmup.frequencies[i] += stats.node_frequencies[i];
+        }
+    }
+    if (!warmup_path.empty()) {
+        if (match::save_warmup_trace(warmup_path, warmup))
+            std::printf("saved warmup trace (%zu nodes) to %s — replay "
+                        "with: serve --warmup %s --scale-pct %lld\n",
+                        warmup.frequencies.size(), warmup_path.c_str(),
+                        warmup_path.c_str(),
+                        static_cast<long long>(
+                            args.get_int("scale-pct", 50)));
+        else
+            return 1;
     }
     return 0;
 }
@@ -203,29 +332,65 @@ run_serve(const Args &args)
     sopts.batcher.max_wait =
         double(args.get_int("wait-us", 2000)) / 1e6;
     sopts.admission.max_pending = args.get_int("max-pending", 64);
+    sopts.drr_quantum =
+        double(args.get_int("drr-quantum-us", 1000)) / 1e6;
     sopts.feature_cache_ratio =
         double(args.get_int("cache-pct", 20)) / 100.0;
     sopts.embedding.capacity_rows = args.get_int("embed-rows", -1);
+    sopts.compute_logits = args.get_int("logits", 0) != 0;
+    sopts.compute_threads = int(args.get_int("compute-threads", 1));
     sopts.seed = uint64_t(args.get_int("seed", 1));
+
+    // --model2 hosts a second tier behind the same front door; both
+    // tiers inherit the shared batcher/embedding settings.
+    const std::string model2 = args.get("model2", "");
+    serve::LoadGeneratorOptions lopts;
+    if (!model2.empty()) {
+        serve::ModelTier tier;
+        tier.name = args.get("model", "gcn");
+        tier.model.type = sopts.model.type;
+        tier.batcher = sopts.batcher;
+        tier.embedding = sopts.embedding;
+        sopts.models.push_back(tier);
+        tier.name = model2;
+        tier.model.type = parse_model(model2);
+        sopts.models.push_back(tier);
+        const double share = std::clamp(
+            double(args.get_int("model2-share", 30)) / 100.0, 0.0, 1.0);
+        lopts.model_mix = {1.0 - share, share};
+    }
+
+    // Warmup trace (recorded by `train --save-warmup`): seeds the
+    // feature-cache ranking and every tier's embedding cache.
+    const std::string warmup_path = args.get("warmup", "");
+    if (!warmup_path.empty()) {
+        sopts.warmup = match::load_warmup_trace(warmup_path);
+        if (sopts.warmup.empty())
+            return 1;
+    }
     serve::Server server(ds, sopts);
 
-    serve::LoadGeneratorOptions lopts;
     lopts.rate_rps = double(args.get_int("rate", 20000));
     lopts.num_requests = args.get_int("requests", 2048);
+    lopts.targets_per_request = int(args.get_int("targets", 1));
     lopts.slo_deadline =
         double(args.get_int("slo-ms", 20)) / 1e3;
+    lopts.class_mix = {double(args.get_int("mix-paid", 0)),
+                       double(args.get_int("mix-std", 100)),
+                       double(args.get_int("mix-be", 0))};
     lopts.seed = sopts.seed + 1;
     serve::LoadGenerator gen(server.popularity(), lopts);
 
     std::printf("serving %s: %lld requests at %.0f rps, SLO %s, "
-                "batch<=%d/%s, %d worker thread(s)\n",
+                "batch<=%d/%s, %d worker thread(s)%s\n",
                 ds.name.c_str(),
                 static_cast<long long>(lopts.num_requests),
                 lopts.rate_rps,
                 util::human_seconds(lopts.slo_deadline).c_str(),
                 sopts.batcher.max_batch,
                 util::human_seconds(sopts.batcher.max_wait).c_str(),
-                sopts.worker_threads);
+                sopts.worker_threads,
+                server.warmed() ? ", warmed caches" : "");
     server.serve(gen.generate());
     const serve::ServingStats &st = server.last_stats();
     std::printf(
@@ -255,6 +420,48 @@ run_serve(const Args &args)
                 static_cast<long long>(server.feature_cache_rows()),
                 100.0 * st.embedding_hit_rate,
                 static_cast<long long>(server.embedding_cache_rows()));
+    if (st.warmed)
+        std::printf("  warmup: %lld embedding rows pre-seeded\n",
+                    static_cast<long long>(st.warmed_rows));
+    for (size_t c = 0; c < serve::kNumPriorityClasses; ++c) {
+        const serve::PriorityClassStats &cls = st.per_class[c];
+        if (cls.offered == 0)
+            continue;
+        std::printf("  class %-11s %lld offered, %lld served "
+                    "(%lld late), shed %lld+%lld (%.1f%%), "
+                    "p50 %s, p99 %s\n",
+                    serve::priority_name(
+                        static_cast<serve::Priority>(c)),
+                    static_cast<long long>(cls.offered),
+                    static_cast<long long>(cls.served),
+                    static_cast<long long>(cls.served_late),
+                    static_cast<long long>(cls.shed_queue),
+                    static_cast<long long>(cls.dropped_deadline),
+                    100.0 * cls.shed_rate,
+                    util::human_seconds(cls.p50_latency).c_str(),
+                    util::human_seconds(cls.p99_latency).c_str());
+    }
+    if (server.num_models() > 1) {
+        for (const serve::ModelTierStats &tier : st.per_model)
+            std::printf("  tier %-8s %lld offered, %lld served, "
+                        "%lld batches (mean %.1f), device %s, "
+                        "embed %.1f%% hit, %lld warmed rows\n",
+                        tier.name.c_str(),
+                        static_cast<long long>(tier.offered),
+                        static_cast<long long>(tier.served),
+                        static_cast<long long>(tier.batches),
+                        tier.mean_batch_size,
+                        util::human_seconds(tier.gpu_busy_seconds)
+                            .c_str(),
+                        100.0 * tier.embedding_hit_rate,
+                        static_cast<long long>(tier.warmed_rows));
+    }
+    if (sopts.compute_logits)
+        std::printf("  compute: %lld real forwards in %s host "
+                    "(%.1f GFLOP/s gemm)\n",
+                    static_cast<long long>(st.compute_batches),
+                    util::human_seconds(st.compute_seconds).c_str(),
+                    st.compute_gflops);
     std::printf("  fingerprint 0x%016llx (host wall %s)\n",
                 static_cast<unsigned long long>(st.fingerprint),
                 util::human_seconds(st.wall_seconds).c_str());
@@ -295,14 +502,12 @@ usage()
 {
     std::printf(
         "usage: fastgl_cli <mode> [--key value]...\n"
-        "modes:\n"
-        "  model  --dataset D --framework F --model M --gpus N\n"
-        "         --machines N --epochs N --batch N --max-batches N\n"
-        "  train  --dataset D --model M --epochs N --lr-milli N\n"
-        "  serve  --dataset D --rate RPS --requests N --slo-ms N\n"
-        "         --batch-max N --wait-us N --max-pending N\n"
-        "         --cache-pct N --embed-rows N --threads N\n"
-        "  info   --dataset D\n"
+        "modes (run `fastgl_cli <mode> --help` for every option):\n"
+        "  model  modelled epochs under a framework preset\n"
+        "  train  real numeric training (loss curve, warmup capture)\n"
+        "  serve  online inference over a synthetic Poisson trace\n"
+        "         (multi-model tiers, priority classes, warmup)\n"
+        "  info   dataset replica statistics\n"
         "datasets: reddit products mag igb papers100m\n"
         "frameworks: pyg dgl gnnadvisor gnnlab fastgl\n"
         "models: gcn gin gat\n");
@@ -320,13 +525,13 @@ main(int argc, char **argv)
     const std::string mode = argv[1];
     const Args args(argc, argv);
     if (mode == "model")
-        return run_model(args);
+        return args.has("help") ? (usage_model(), 0) : run_model(args);
     if (mode == "train")
-        return run_train(args);
+        return args.has("help") ? (usage_train(), 0) : run_train(args);
     if (mode == "serve")
-        return run_serve(args);
+        return args.has("help") ? (usage_serve(), 0) : run_serve(args);
     if (mode == "info")
-        return run_info(args);
+        return args.has("help") ? (usage_info(), 0) : run_info(args);
     usage();
-    return 1;
+    return mode == "--help" || mode == "help" ? 0 : 1;
 }
