@@ -27,12 +27,35 @@ class Tensor
     /** Zero-initialised matrix. */
     Tensor(int64_t rows, int64_t cols);
 
+    /**
+     * Copies are always deep and owning — copying a view materialises
+     * the borrowed storage (exactly what e.g. GAT's saved-input capture
+     * needs), so no copy ever outlives someone else's buffer.
+     */
+    Tensor(const Tensor &other);
+    Tensor &operator=(const Tensor &other);
+    /** Moves preserve view-ness (a moved view still borrows). */
+    Tensor(Tensor &&other) noexcept = default;
+    Tensor &operator=(Tensor &&other) noexcept = default;
+
     /** All-zeros factory (alias of the constructor, reads better). */
     static Tensor zeros(int64_t rows, int64_t cols);
 
     /** Gaussian init with std @p scale (Glorot-style when scaled). */
     static Tensor randn(int64_t rows, int64_t cols, util::Rng &rng,
                         float scale);
+
+    /**
+     * Non-owning view over external row-major storage — the zero-copy
+     * bridge from a match::FeaturePanel (gathered feature rows in arena
+     * memory) into the GNN forward pass. The storage must stay alive
+     * and fixed for the lifetime of the view; writing through the view
+     * writes the external buffer (input dropout relies on this).
+     */
+    static Tensor view(float *data, int64_t rows, int64_t cols);
+
+    /** True when this tensor borrows external storage (a view). */
+    bool is_view() const { return view_ != nullptr; }
 
     int64_t rows() const { return rows_; }
     int64_t cols() const { return cols_; }
@@ -41,28 +64,28 @@ class Tensor
     float &
     at(int64_t r, int64_t c)
     {
-        return data_[static_cast<size_t>(r * cols_ + c)];
+        return data()[static_cast<size_t>(r * cols_ + c)];
     }
     float
     at(int64_t r, int64_t c) const
     {
-        return data_[static_cast<size_t>(r * cols_ + c)];
+        return data()[static_cast<size_t>(r * cols_ + c)];
     }
 
     /** Mutable view of row @p r. */
     std::span<float>
     row(int64_t r)
     {
-        return {data_.data() + r * cols_, static_cast<size_t>(cols_)};
+        return {data() + r * cols_, static_cast<size_t>(cols_)};
     }
     std::span<const float>
     row(int64_t r) const
     {
-        return {data_.data() + r * cols_, static_cast<size_t>(cols_)};
+        return {data() + r * cols_, static_cast<size_t>(cols_)};
     }
 
-    float *data() { return data_.data(); }
-    const float *data() const { return data_.data(); }
+    float *data() { return view_ ? view_ : data_.data(); }
+    const float *data() const { return view_ ? view_ : data_.data(); }
 
     /** Set every element to zero. */
     void fill_zero();
@@ -87,6 +110,7 @@ class Tensor
     int64_t rows_ = 0;
     int64_t cols_ = 0;
     std::vector<float> data_;
+    float *view_ = nullptr; ///< Non-null when borrowing external storage.
 };
 
 /** A trainable tensor with its gradient buffer. */

@@ -43,6 +43,16 @@ struct AsyncPipelineOptions
      * consumer throttles sampling instead of buffering the whole epoch.
      */
     size_t queue_depth = 4;
+    /**
+     * Gather real feature rows (match::GatherEngine, one per gather
+     * thread) into arena-leased panels that are *moved* through the
+     * compute queue — no feature copies between stages. The compute
+     * drain folds every panel into AsyncEpochStats::gather_fingerprint
+     * (FNV per batch, XOR across batches, so the combine is
+     * order-independent and the fingerprint thread-count-invariant).
+     * Off by default: the modelled clock does not need real bytes.
+     */
+    bool gather_features = false;
 
     // --- Test hooks (no-ops when unset; not for production use) ---
     /** Called in a producer thread before sampling batch @p index. */
@@ -68,6 +78,16 @@ struct AsyncEpochStats
     bool stopped_early = false;
     util::QueueStats batch_queue;
     util::QueueStats compute_queue;
+    /**
+     * XOR of per-batch FNV(batch_id, panel bytes) words when
+     * AsyncPipelineOptions::gather_features is on (0 when off or when
+     * the epoch completed zero batches). Thread-count invariant: each
+     * batch's word depends only on its id and bytes, and XOR commutes.
+     */
+    uint64_t gather_fingerprint = 0;
+    /** Feature rows / bytes gathered into panels this epoch. */
+    int64_t gather_rows = 0;
+    uint64_t gather_bytes = 0;
 };
 
 /**

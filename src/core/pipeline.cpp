@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "match/reorder.h"
+#include "sample/frequency_hashmap.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -146,17 +147,22 @@ Pipeline::build_cache()
         ranking = match::degree_ranking(dataset_.graph);
     } else {
         // GNNLab presample: run a few batches and rank by frequency.
-        std::vector<int64_t> freq(static_cast<size_t>(n), 0);
+        // One pass over the sampled nodes counts while deduping
+        // (sample::FrequencyHashmap) — the dense num_nodes-sized count
+        // array and its full-graph sort are gone, and the sparse
+        // ranking overload is bit-identical to the old two-pass.
         const int64_t presample =
             std::min<int64_t>(4, splitter_.num_batches());
+        sample::FrequencyHashmap freq(
+            static_cast<size_t>(presample * splitter_.batch_size()));
         for (int64_t b = 0; b < presample; ++b) {
             // Presampling uses epoch 0; training epochs start at 1, so
             // the cache build never shares an RNG stream with them.
             sample::SampledSubgraph sg = sample_batch(0, b);
-            for (graph::NodeId u : sg.nodes)
-                ++freq[static_cast<size_t>(u)];
+            freq.add_stream(sg.nodes);
         }
-        ranking = match::presample_ranking(freq);
+        ranking =
+            match::presample_ranking(freq.uniques(), freq.counts(), n);
     }
     cache_.emplace(n, ranking, cache_rows_);
 }

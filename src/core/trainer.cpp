@@ -1,5 +1,6 @@
 #include "core/trainer.h"
 
+#include "sample/frequency_hashmap.h"
 #include "sim/gpu_spec.h"
 #include "util/logging.h"
 
@@ -38,16 +39,62 @@ Trainer::Trainer(const graph::Dataset &dataset, TrainerOptions opts)
     nopts.seed = opts_.seed + 1;
     sampler_ = std::make_unique<sample::NeighborSampler>(dataset.graph,
                                                          nopts);
+
+    gather_engine_ =
+        std::make_unique<match::GatherEngine>(opts_.gather_threads);
+
+    if (opts_.feature_cache_ratio > 0.0) {
+        // Presample with dedicated sampler/splitter instances on
+        // derived seeds so the training RNG streams stay untouched —
+        // the cache is accounting only and must not move a single bit
+        // of the training trajectory.
+        constexpr int64_t kPresampleBatches = 8;
+        sample::BatchSplitter presplit(
+            dataset.train_nodes, splitter_.batch_size(),
+            opts_.seed ^ 0xFEA7CACE5EEDULL);
+        presplit.shuffle_epoch();
+        sample::NeighborSamplerOptions popts = nopts;
+        popts.seed = opts_.seed + 17;
+        sample::NeighborSampler presampler(dataset.graph, popts);
+        // One-pass count-while-dedup instead of the dense
+        // count-then-sort two-pass; the sparse ranking overload is
+        // bit-identical to the legacy pipeline.
+        sample::FrequencyHashmap freq(static_cast<size_t>(
+            splitter_.batch_size() * kPresampleBatches));
+        const int64_t pre_batches =
+            std::min<int64_t>(kPresampleBatches, presplit.num_batches());
+        for (int64_t b = 0; b < pre_batches; ++b)
+            freq.add_stream(presampler.sample(presplit.batch(b)).nodes);
+        const auto ranking = match::presample_ranking(
+            freq.uniques(), freq.counts(), dataset.graph.num_nodes());
+        const auto capacity = static_cast<int64_t>(
+            double(dataset.graph.num_nodes()) * opts_.feature_cache_ratio);
+        feature_cache_ = std::make_unique<match::StaticFeatureCache>(
+            dataset.graph.num_nodes(), ranking, capacity);
+    }
 }
 
 compute::Tensor
 Trainer::gather_features(const sample::SampledSubgraph &sg)
 {
-    compute::Tensor x(sg.num_nodes(), dataset_.features.dim());
-    for (int64_t i = 0; i < sg.num_nodes(); ++i)
-        dataset_.features.gather_row(sg.nodes[static_cast<size_t>(i)],
-                                     x.row(i).data());
-    return x;
+    // Batched SIMD gather into a leased panel. The returned tensor is
+    // a zero-copy view — the forward pass reads (and input dropout
+    // writes) the panel bytes directly, so the previous batch's panel
+    // is done by the time we get here. Releasing it BEFORE gathering
+    // returns its arena to the pool first, and the LIFO pool hands the
+    // same (cache- and TLB-warm) arena straight back — the steady
+    // state is one hot buffer, not two alternating cold ones.
+    panel_.release();
+    if (feature_cache_) {
+        panel_ = gather_engine_
+                     ->gather_cached(dataset_.features, sg.nodes,
+                                     *feature_cache_)
+                     .panel;
+    } else {
+        panel_ = gather_engine_->gather(dataset_.features, sg.nodes);
+    }
+    return compute::Tensor::view(panel_.data(), panel_.rows(),
+                                 panel_.dim());
 }
 
 std::vector<int>
@@ -70,6 +117,7 @@ Trainer::train_epoch()
 
     TrainEpochStats stats;
     engine_->reset_stats();
+    gather_engine_->reset_stats();
     if (opts_.record_node_frequencies)
         stats.node_frequencies.assign(
             static_cast<size_t>(dataset_.graph.num_nodes()), 0);
@@ -112,6 +160,7 @@ Trainer::train_epoch()
     stats.measured_compute.agg_flops = ks.agg_flops;
     stats.measured_compute.agg_bytes = ks.agg_bytes;
     stats.measured_compute.agg_edges = ks.agg_edges;
+    stats.gather = gather_engine_->stats();
     return stats;
 }
 

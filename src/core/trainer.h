@@ -18,6 +18,8 @@
 #include "compute/optimizer.h"
 #include "core/phase_stats.h"
 #include "graph/datasets.h"
+#include "match/feature_cache.h"
+#include "match/gather_engine.h"
 #include "sample/batch_splitter.h"
 #include "sample/neighbor_sampler.h"
 #include "util/rng.h"
@@ -40,6 +42,20 @@ struct TrainerOptions
     /** Kernel-engine width: 1 = sequential, 0 = hardware concurrency.
      *  Losses and parameters are bit-identical at any width. */
     int compute_threads = 1;
+    /** Gather-engine width for batched feature gathering: 1 =
+     *  sequential, 0 = hardware concurrency. Gathered features — and
+     *  therefore losses and parameters — are bit-identical at any
+     *  width (match::GatherEngine contract). */
+    int gather_threads = 1;
+    /**
+     * When > 0, presample a few batches up front, build a
+     * match::StaticFeatureCache over this fraction of the graph's
+     * nodes (GNNLab presample policy), and account hit/miss rates
+     * through the fused gather pass. Pure accounting: gathered bits,
+     * losses and parameters are unaffected. The presample uses its own
+     * sampler/splitter instances, so training RNG streams do not move.
+     */
+    double feature_cache_ratio = 0.0;
     /**
      * Record per-node access frequencies (appearances in sampled
      * subgraphs) into TrainEpochStats::node_frequencies. The counts
@@ -69,6 +85,10 @@ struct TrainEpochStats
      * serving caches from real training traffic.
      */
     std::vector<int64_t> node_frequencies;
+    /** Batched feature-gather counters measured during this epoch
+     *  (rows/bytes/seconds, plus fused cache hit/miss tallies when
+     *  TrainerOptions::feature_cache_ratio is on). */
+    match::GatherStats gather;
 };
 
 /** Owns the model, optimizer and sampler; runs real training epochs. */
@@ -96,8 +116,24 @@ class Trainer
     compute::GnnModel &model() { return *model_; }
     const TrainerOptions &options() const { return opts_; }
 
+    /** The trainer's gather engine (stats, width introspection). */
+    const match::GatherEngine &gather_engine() const
+    {
+        return *gather_engine_;
+    }
+
+    /** Feature cache built by feature_cache_ratio (null when off). */
+    const match::StaticFeatureCache *feature_cache() const
+    {
+        return feature_cache_.get();
+    }
+
   private:
-    /** Gather one feature row per subgraph node into a dense tensor. */
+    /**
+     * Gather one feature row per subgraph node through the batched
+     * gather engine. Returns a zero-copy Tensor::view over the leased
+     * panel (panel_); valid until the next gather_features call.
+     */
     compute::Tensor gather_features(const sample::SampledSubgraph &sg);
 
     /** Inverted dropout on the gathered input features (train only). */
@@ -109,6 +145,11 @@ class Trainer
     const graph::Dataset &dataset_;
     TrainerOptions opts_;
     std::unique_ptr<compute::KernelEngine> engine_;
+    std::unique_ptr<match::GatherEngine> gather_engine_;
+    /** Panel behind the current batch's input view; replaced (and its
+     *  arena recycled) by the next gather_features call. */
+    match::FeaturePanel panel_;
+    std::unique_ptr<match::StaticFeatureCache> feature_cache_;
     compute::ComputeCostModel cost_model_;
     std::unique_ptr<compute::GnnModel> model_;
     std::unique_ptr<compute::Optimizer> optimizer_;

@@ -1,5 +1,7 @@
 #include "graph/feature_store.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace fastgl {
@@ -89,14 +91,37 @@ void
 FeatureStore::gather_row(NodeId u, float *out) const
 {
     FASTGL_CHECK(u >= 0 && u < num_nodes_, "node out of range");
+    gather_row_unvalidated(u, out);
+}
+
+void
+FeatureStore::gather_row_unvalidated(NodeId u, float *out) const
+{
     if (materialized_) {
-        auto r = row(u);
-        std::copy(r.begin(), r.end(), out);
+        const float *src = row_ptr_unvalidated(u);
+        std::copy(src, src + dim_, out);
     } else {
         // Regenerate deterministically: the row is a pure function of
         // (seed, node). Slower, but memory free.
         generate_row(u, out);
     }
+}
+
+void
+FeatureStore::validate_nodes(std::span<const NodeId> nodes) const
+{
+    // One branch-predictable pass; the min/max fold keeps the loop
+    // tight and the check itself out of it.
+    NodeId lo = 0, hi = -1;
+    if (!nodes.empty()) {
+        lo = hi = nodes.front();
+        for (NodeId u : nodes) {
+            lo = std::min(lo, u);
+            hi = std::max(hi, u);
+        }
+    }
+    FASTGL_CHECK(lo >= 0 && hi < num_nodes_,
+                 "gather node ID outside the feature matrix");
 }
 
 int

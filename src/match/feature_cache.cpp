@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <numeric>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -122,6 +123,48 @@ presample_ranking(const std::vector<int64_t> &frequencies)
                          return frequencies[static_cast<size_t>(a)] >
                                 frequencies[static_cast<size_t>(b)];
                      });
+    return ranking;
+}
+
+std::vector<graph::NodeId>
+presample_ranking(std::span<const graph::NodeId> uniques,
+                  std::span<const int64_t> counts, graph::NodeId num_nodes)
+{
+    FASTGL_CHECK(uniques.size() == counts.size(),
+                 "uniques/counts size mismatch");
+    // The dense overload is a stable sort of an ascending iota by
+    // frequency descending: count groups descend, ties inside a group
+    // keep ascending node-ID order, and the zero-frequency remainder is
+    // one big ascending tie group at the end. Reproducing that from the
+    // sparse pairs therefore needs exactly (a) counted nodes sorted by
+    // (count desc, id asc) and (b) every uncounted node appended in
+    // ascending ID order.
+    std::vector<std::pair<int64_t, graph::NodeId>> counted;
+    counted.reserve(uniques.size());
+    std::vector<bool> has_count(static_cast<size_t>(num_nodes), false);
+    for (size_t i = 0; i < uniques.size(); ++i) {
+        const graph::NodeId node = uniques[i];
+        FASTGL_CHECK(node >= 0 && node < num_nodes,
+                     "presample node out of range");
+        FASTGL_CHECK(!has_count[static_cast<size_t>(node)],
+                     "duplicate node in presample uniques");
+        if (counts[i] > 0) {
+            counted.emplace_back(counts[i], node);
+            has_count[static_cast<size_t>(node)] = true;
+        }
+    }
+    std::sort(counted.begin(), counted.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first != b.first ? a.first > b.first
+                                            : a.second < b.second;
+              });
+    std::vector<graph::NodeId> ranking;
+    ranking.reserve(static_cast<size_t>(num_nodes));
+    for (const auto &[count, node] : counted)
+        ranking.push_back(node);
+    for (graph::NodeId u = 0; u < num_nodes; ++u)
+        if (!has_count[static_cast<size_t>(u)])
+            ranking.push_back(u);
     return ranking;
 }
 

@@ -62,6 +62,20 @@ class StaticFeatureCache
      */
     int64_t lookup_batch(std::span<const graph::NodeId> nodes) const;
 
+    /**
+     * Publish externally tallied hit/miss counts into the statistics —
+     * the accounting half of lookup_batch for callers that already
+     * counted residency themselves (GatherEngine's fused gather pass
+     * counts while copying, one record() per shard). Thread safe;
+     * integer sums make the totals exact regardless of shard layout.
+     */
+    void
+    record(int64_t hit, int64_t miss) const
+    {
+        hits_.fetch_add(hit, std::memory_order_relaxed);
+        misses_.fetch_add(miss, std::memory_order_relaxed);
+    }
+
     int64_t capacity_rows() const { return capacity_rows_; }
     int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
     int64_t
@@ -102,6 +116,19 @@ std::vector<graph::NodeId> degree_ranking(const graph::CsrGraph &graph);
  */
 std::vector<graph::NodeId>
 presample_ranking(const std::vector<int64_t> &frequencies);
+
+/**
+ * presample_ranking from the sparse (uniques, counts) output of a
+ * one-pass count-while-dedup sweep (sample::FrequencyHashmap), without
+ * ever materialising the dense num_nodes-sized frequency array.
+ * Bit-identical to the dense overload on the equivalent frequencies:
+ * counted nodes by count descending (ties in ascending node-ID order),
+ * then every never-counted node in ascending node-ID order.
+ */
+std::vector<graph::NodeId>
+presample_ranking(std::span<const graph::NodeId> uniques,
+                  std::span<const int64_t> counts,
+                  graph::NodeId num_nodes);
 
 /**
  * Per-node access frequencies recorded from a real workload — a

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * The batched feature-gather fast path — the Match stage's data-movement
+ * engine, given the same treatment compute::KernelEngine gave the
+ * numeric kernels.
+ *
+ * Every consumer of gathered features (core::Trainer, serve::Server's
+ * real forwards, core::AsyncPipeline's gather stage) historically called
+ * graph::FeatureStore::gather_row one node at a time: a cross-TU call
+ * plus a bounds check per row, into a freshly heap-allocated tensor per
+ * batch. GatherEngine replaces that loop with
+ *
+ *   - one hoisted structural pass (FeatureStore::validate_nodes) instead
+ *     of a bounds check per row — the LayerBlock::validate() pattern;
+ *   - a 128-bit-vector column-chunked row copy from the store's matrix
+ *     into an output panel (same explicit-vector idiom as
+ *     compute/kernel_impl.inc; a row copy moves the identical bytes, so
+ *     the fast path is trivially bit-identical to the per-row loop);
+ *   - row-sharding over util::ThreadPool — shards are disjoint row
+ *     ranges of the panel, so output is **bit-identical at any thread
+ *     count** (the KernelEngine contract);
+ *   - arena-backed FeaturePanel outputs leased from a pool: steady-state
+ *     gathers never touch the heap, and panels are *handed off* through
+ *     queues / wrapped as compute::Tensor::view instead of copied. A
+ *     panel returns its arena to the pool on destruction, from any
+ *     thread, even after the engine is gone;
+ *   - optional fused cache accounting: hit/miss counting against a
+ *     match::StaticFeatureCache folded into the same pass over the rows
+ *     (one pass instead of lookup_batch + gather), publishing exact
+ *     totals to the cache's atomic statistics once per shard.
+ *
+ * See docs/feature_gather.md for the contract and the panel
+ * lifetime/ownership rules.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "graph/feature_store.h"
+#include "match/feature_cache.h"
+
+namespace fastgl {
+namespace util {
+class ThreadPool;
+} // namespace util
+
+namespace match {
+
+class GatherEngine;
+
+/**
+ * One gathered feature panel: rows() x dim() floats, row-major and
+ * contiguous, living in arena memory leased from the engine's panel
+ * pool.
+ *
+ * Ownership rules (docs/feature_gather.md):
+ *  - a panel is move-only; moving transfers the lease, never the bytes;
+ *  - the data pointer stays valid until the panel (and every span or
+ *    Tensor::view derived from it) is done — consumers receive the
+ *    panel itself, not a copy;
+ *  - destruction (or release()) resets the arena and returns it to the
+ *    pool, from any thread; the pool outlives its engine for as long
+ *    as any panel is alive, so handing panels down a queue past the
+ *    engine's lifetime is safe;
+ *  - the engine may not be destroyed while a gather call is in flight,
+ *    but outstanding panels never pin it.
+ */
+class FeaturePanel
+{
+  public:
+    FeaturePanel() = default;
+    ~FeaturePanel() = default;
+
+    FeaturePanel(FeaturePanel &&) = default;
+    FeaturePanel &operator=(FeaturePanel &&) = default;
+    FeaturePanel(const FeaturePanel &) = delete;
+    FeaturePanel &operator=(const FeaturePanel &) = delete;
+
+    int64_t rows() const { return rows_; }
+    int64_t dim() const { return dim_; }
+    bool empty() const { return rows_ * dim_ == 0; }
+
+    float *data() { return data_; }
+    const float *data() const { return data_; }
+
+    std::span<float>
+    row(int64_t r)
+    {
+        return {data_ + r * dim_, static_cast<size_t>(dim_)};
+    }
+    std::span<const float>
+    row(int64_t r) const
+    {
+        return {data_ + r * dim_, static_cast<size_t>(dim_)};
+    }
+
+    /** Bytes the panel occupies. */
+    uint64_t
+    bytes() const
+    {
+        return static_cast<uint64_t>(rows_) * static_cast<uint64_t>(dim_) *
+               sizeof(float);
+    }
+
+    /** Return the lease early (panel becomes empty). */
+    void release();
+
+  private:
+    friend class GatherEngine;
+    struct Lease;
+
+    float *data_ = nullptr;
+    int64_t rows_ = 0;
+    int64_t dim_ = 0;
+    std::shared_ptr<Lease> lease_;
+};
+
+/** Measured counters of one engine (one caller thread at a time). */
+struct GatherStats
+{
+    double seconds = 0.0;     ///< Wall seconds inside gather calls.
+    int64_t rows = 0;         ///< Feature rows gathered.
+    uint64_t bytes = 0;       ///< Bytes written into panels.
+    int64_t calls = 0;        ///< Batched gather calls.
+    int64_t cache_hits = 0;   ///< Fused-pass cache hits (gather_cached).
+    int64_t cache_misses = 0; ///< Fused-pass cache misses.
+
+    /** Measured gather bandwidth in GB/s. */
+    double
+    gb_per_s() const
+    {
+        return seconds > 0.0 ? double(bytes) / seconds / 1e9 : 0.0;
+    }
+
+    GatherStats &
+    operator+=(const GatherStats &o)
+    {
+        seconds += o.seconds;
+        rows += o.rows;
+        bytes += o.bytes;
+        calls += o.calls;
+        cache_hits += o.cache_hits;
+        cache_misses += o.cache_misses;
+        return *this;
+    }
+};
+
+/**
+ * Batched feature gather engine; see the file comment. Like
+ * compute::KernelEngine, an instance is driven by one caller thread at
+ * a time (stats and the lease fast path are unsynchronised); the worker
+ * threads it fans out to are internal, and separate engines may share
+ * one FeatureStore and one StaticFeatureCache concurrently (both are
+ * immutable reads; cache statistics stay exact because each shard
+ * publishes its local tallies with one atomic add per counter).
+ */
+class GatherEngine
+{
+  public:
+    /** Sequential engine (no pool). */
+    GatherEngine();
+
+    /**
+     * Engine over @p threads workers: 1 = sequential, 0 = hardware
+     * concurrency, n = n workers (owned pool).
+     */
+    explicit GatherEngine(int threads);
+
+    /** Engine over a caller-owned pool (must outlive the engine). */
+    explicit GatherEngine(util::ThreadPool *pool);
+
+    ~GatherEngine();
+
+    GatherEngine(const GatherEngine &) = delete;
+    GatherEngine &operator=(const GatherEngine &) = delete;
+
+    /** Parallel width (1 when sequential). */
+    int threads() const;
+
+    /**
+     * Gather one feature row per node into a fresh panel
+     * ([nodes.size() x store.dim()], local order = @p nodes order).
+     * Bit-identical to the sequential per-row gather_row loop at any
+     * thread count. Panics when a node ID is out of range (validated
+     * once, up front).
+     */
+    FeaturePanel gather(const graph::FeatureStore &store,
+                        std::span<const graph::NodeId> nodes);
+
+    /** Result of a fused gather + cache-accounting pass. */
+    struct CachedGather
+    {
+        FeaturePanel panel;
+        int64_t hits = 0;   ///< Rows resident in @p cache.
+        int64_t misses = 0; ///< Rows that must cross PCIe.
+    };
+
+    /**
+     * gather() with StaticFeatureCache hit/miss accounting fused into
+     * the same pass over the rows — replaces the historical
+     * lookup_batch-then-gather two-pass. Counts are exact at any
+     * thread count (per-shard tallies, integer sums), and are also
+     * published to @p cache's atomic statistics exactly as
+     * lookup_batch would have.
+     */
+    CachedGather gather_cached(const graph::FeatureStore &store,
+                               std::span<const graph::NodeId> nodes,
+                               const StaticFeatureCache &cache);
+
+    const GatherStats &stats() const { return stats_; }
+    void reset_stats() { stats_ = GatherStats{}; }
+
+  private:
+    struct PanelPool;
+    friend struct FeaturePanel::Lease; ///< Leases return arenas to the pool.
+
+    FeaturePanel acquire_panel(int64_t rows, int64_t dim);
+
+    CachedGather gather_impl(const graph::FeatureStore &store,
+                             std::span<const graph::NodeId> nodes,
+                             const StaticFeatureCache *cache);
+
+    util::ThreadPool *pool_ = nullptr;        ///< Null = sequential.
+    std::unique_ptr<util::ThreadPool> owned_; ///< Set for GatherEngine(int).
+    std::shared_ptr<PanelPool> panels_;       ///< Kept alive by leases too.
+    GatherStats stats_;
+};
+
+} // namespace match
+} // namespace fastgl

@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "sample/frequency_hashmap.h"
 #include "sample/neighbor_sampler.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -117,10 +118,12 @@ Server::Server(const graph::Dataset &dataset, ServerOptions opts,
         ranking_ = match::degree_ranking(dataset_.graph);
     } else {
         // GNNLab-style presample: run a few training batches through
-        // the sampler and rank nodes by appearance frequency. The
+        // the sampler and rank nodes by appearance frequency, counting
+        // while deduping in one pass (sample::FrequencyHashmap) —
+        // identical ranking to the old dense count array, without the
+        // num_nodes-sized allocation and full-graph sort. The
         // presample draws from its own derived streams, never shared
         // with serving requests.
-        std::vector<int64_t> freq(static_cast<size_t>(n), 0);
         sample::NeighborSamplerOptions nopts;
         nopts.fanouts = opts_.fanouts;
         nopts.seed = opts_.seed + 101;
@@ -131,6 +134,7 @@ Server::Server(const graph::Dataset &dataset, ServerOptions opts,
         const auto &train = dataset_.train_nodes;
         const size_t batches =
             std::min<size_t>(4, (train.size() + batch - 1) / batch);
+        sample::FrequencyHashmap freq(batches * batch);
         for (size_t b = 0; b < batches; ++b) {
             const size_t begin = b * batch;
             const size_t end = std::min(train.size(), begin + batch);
@@ -138,10 +142,10 @@ Server::Server(const graph::Dataset &dataset, ServerOptions opts,
                 std::span<const graph::NodeId>(train.data() + begin,
                                                end - begin),
                 util::derive_seed(opts_.seed, kPresampleStream, b));
-            for (graph::NodeId u : sg.nodes)
-                ++freq[static_cast<size_t>(u)];
+            freq.add_stream(sg.nodes);
         }
-        ranking_ = match::presample_ranking(freq);
+        ranking_ =
+            match::presample_ranking(freq.uniques(), freq.counts(), n);
     }
 
     if (opts_.feature_cache_ratio > 0.0) {
@@ -159,6 +163,10 @@ Server::Server(const graph::Dataset &dataset, ServerOptions opts,
     if (opts_.compute_logits) {
         engine_ = std::make_unique<compute::KernelEngine>(
             opts_.compute_threads);
+        // Sequential width: batch gathers here are request sized, and
+        // the sequencer thread must not contend with the pipeline's
+        // worker threads. Width never affects bits anyway.
+        gather_engine_ = std::make_unique<match::GatherEngine>(1);
         for (Tier &tier : tiers_) {
             tier.model =
                 std::make_unique<compute::GnnModel>(tier.config.model);
@@ -419,12 +427,12 @@ Server::serve(const std::vector<InferenceRequest> &trace)
             const Clock::time_point c0 = Clock::now();
             for (const PendingRequest &pr : batch) {
                 const sample::SampledSubgraph &sg = pr.subgraph;
-                compute::Tensor x(sg.num_nodes(),
-                                  dataset_.features.dim());
-                for (int64_t i = 0; i < sg.num_nodes(); ++i)
-                    dataset_.features.gather_row(
-                        sg.nodes[static_cast<size_t>(i)],
-                        x.row(i).data());
+                // Batched gather into a leased panel, forwarded as a
+                // zero-copy view — no per-request tensor allocation.
+                match::FeaturePanel panel =
+                    gather_engine_->gather(dataset_.features, sg.nodes);
+                const compute::Tensor x = compute::Tensor::view(
+                    panel.data(), panel.rows(), panel.dim());
                 const compute::Tensor logits =
                     tiers_[m].model->forward(sg, x);
                 std::vector<int> &pred =

@@ -59,6 +59,7 @@
 #include "compute/kernel_engine.h"
 #include "graph/datasets.h"
 #include "match/feature_cache.h"
+#include "match/gather_engine.h"
 #include "sample/fused_hash_table.h"
 #include "serve/batcher.h"
 #include "serve/embedding_cache.h"
@@ -388,6 +389,11 @@ class Server
     /** Kernel engine for compute_logits forwards; shared by all tiers
      *  (deterministic at any width). Non-null iff compute_logits. */
     std::unique_ptr<compute::KernelEngine> engine_;
+    /** Batched feature gather for compute_logits forwards; driven only
+     *  by the sequencer thread. Bit-identical to the per-row loop it
+     *  replaced, so prediction fingerprints are unchanged. Non-null
+     *  iff compute_logits. */
+    std::unique_ptr<match::GatherEngine> gather_engine_;
     util::StageShutdown shutdown_;
     ServingStats stats_;
 };

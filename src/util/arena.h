@@ -167,7 +167,11 @@ class ArenaAllocator
     {
         Block blk;
         blk.capacity = capacity;
-        blk.data = std::make_unique<std::byte[]>(capacity);
+        // Uninitialised on purpose: allocate() makes no zeroing promise
+        // (alloc_zeroed exists for that), and value-initialising here
+        // would touch every page of e.g. a 32 MB feature panel before
+        // the first real write.
+        blk.data = std::make_unique_for_overwrite<std::byte[]>(capacity);
         blocks_.push_back(std::move(blk));
     }
 

@@ -48,7 +48,7 @@ if [[ "${FASTGL_TSAN:-0}" == "1" ]]; then
     run_config build-tsan -DFASTGL_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-        -R 'BoundedQueue|ThreadPool|AsyncPipeline|Determinism|Serve|StageShutdown|ComputeKernels'
+        -R 'BoundedQueue|ThreadPool|AsyncPipeline|Determinism|Serve|StageShutdown|ComputeKernels|Gather|FrequencyHashmap|FeaturePanel'
 fi
 
 if [[ "${FASTGL_NO_PERF:-0}" != "1" ]]; then
@@ -108,6 +108,25 @@ if [[ "${FASTGL_NO_PERF:-0}" != "1" ]]; then
     python3 -m json.tool BENCH_compute.json > /dev/null
     if grep -q '"identical": false' BENCH_compute.json; then
         echo "compute bench: witness mismatch" >&2
+        exit 1
+    fi
+
+    # Feature-gather smoke: GatherEngine panels, the fused gather+cache
+    # accounting pass, and the one-pass FrequencyHashmap presample vs
+    # their in-bench legacy replicas (the verbatim pre-engine staging
+    # paths). The bench exits non-zero when any FNV witness diverges —
+    # the fast paths must be bit-identical to the legacy loops — and
+    # the explicit grep below keeps a witness mismatch fatal even if
+    # the exit-code plumbing ever regresses. Speedups are archived,
+    # not gated. Primary configuration for the same reason as the
+    # compute smoke: that is how the legacy loops actually shipped.
+    echo "==> feature-gather smoke (primary configuration)"
+    cmake --build build-ci --target bench_ext_gather -j "$JOBS"
+    ./build-ci/bench/bench_ext_gather --smoke \
+        | tee BENCH_gather.json
+    python3 -m json.tool BENCH_gather.json > /dev/null
+    if grep -q '"identical": false' BENCH_gather.json; then
+        echo "gather bench: witness mismatch" >&2
         exit 1
     fi
 fi
