@@ -71,6 +71,26 @@ Trainer::Trainer(const graph::Dataset &dataset, TrainerOptions opts)
             double(dataset.graph.num_nodes()) * opts_.feature_cache_ratio);
         feature_cache_ = std::make_unique<match::StaticFeatureCache>(
             dataset.graph.num_nodes(), ranking, capacity);
+
+        // Multi-GPU accounting: the same aggregate row budget split
+        // into per-device shards along a graph partitioning. Every
+        // training batch is additionally classified from its seed
+        // partition's owner device; none of it feeds back into the
+        // gathered bits or the training trajectory.
+        if (opts_.num_gpus > 1) {
+            partitioning_ = graph::partition_graph(
+                dataset_.graph, opts_.num_gpus, opts_.partitioner);
+            sharded_features_ =
+                std::make_unique<match::PartitionedFeatureCache>(
+                    partitioning_, ranking,
+                    std::max<int64_t>(1, capacity / opts_.num_gpus),
+                    opts_.num_gpus, opts_.shard_mode,
+                    opts_.remote_policy);
+            sim::PeerTopologyOptions peer;
+            peer.num_devices = opts_.num_gpus;
+            topo_ = std::make_unique<sim::PeerTopology>(sim::rtx3090(),
+                                                        peer);
+        }
     }
 }
 
@@ -118,6 +138,11 @@ Trainer::train_epoch()
     TrainEpochStats stats;
     engine_->reset_stats();
     gather_engine_->reset_stats();
+    if (sharded_features_) {
+        sharded_features_->reset_stats();
+        sharded_features_->reset_overlay();
+        topo_->reset();
+    }
     if (opts_.record_node_frequencies)
         stats.node_frequencies.assign(
             static_cast<size_t>(dataset_.graph.num_nodes()), 0);
@@ -131,6 +156,26 @@ Trainer::train_epoch()
         }
         stats.modelled_compute_seconds +=
             cost_model_.training_step(opts_.model, sg).total();
+        if (sharded_features_ && !sg.nodes.empty()) {
+            // Batch affinity: the device owning the first seed's
+            // partition runs the batch; rows on peer shards charge
+            // the modelled interconnect.
+            const int dev =
+                partitioning_.part_of[static_cast<size_t>(
+                    sg.nodes[0])] %
+                opts_.num_gpus;
+            const match::ShardLookup sl =
+                sharded_features_->lookup_batch(dev, sg.nodes);
+            const uint64_t row_bytes = dataset_.features.row_bytes();
+            for (int src = 0; src < opts_.num_gpus; ++src) {
+                const int64_t rows = sl.remote_rows_by_device
+                                         [static_cast<size_t>(src)];
+                if (rows > 0)
+                    topo_->transfer(src, dev,
+                                    static_cast<uint64_t>(rows) *
+                                        row_bytes);
+            }
+        }
         compute::Tensor x = gather_features(sg);
         if (opts_.input_dropout > 0.0f)
             apply_input_dropout(x);
@@ -161,6 +206,12 @@ Trainer::train_epoch()
     stats.measured_compute.agg_bytes = ks.agg_bytes;
     stats.measured_compute.agg_edges = ks.agg_edges;
     stats.gather = gather_engine_->stats();
+    stats.num_gpus = std::max(1, opts_.num_gpus);
+    if (sharded_features_) {
+        stats.shard_totals = sharded_features_->totals();
+        stats.per_partition = sharded_features_->per_partition();
+        stats.peer_links = topo_->active_links();
+    }
     return stats;
 }
 

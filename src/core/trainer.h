@@ -18,8 +18,11 @@
 #include "compute/optimizer.h"
 #include "core/phase_stats.h"
 #include "graph/datasets.h"
+#include "graph/partition.h"
 #include "match/feature_cache.h"
 #include "match/gather_engine.h"
+#include "match/partitioned_cache.h"
+#include "sim/peer_link.h"
 #include "sample/batch_splitter.h"
 #include "sample/neighbor_sampler.h"
 #include "util/rng.h"
@@ -63,6 +66,24 @@ struct TrainerOptions
      * feature/embedding caches instead of starting them cold.
      */
     bool record_node_frequencies = false;
+    /**
+     * Modelled device count for multi-GPU cache accounting. 1 (the
+     * default) is the legacy single-device trainer; with N > 1 (and
+     * feature_cache_ratio > 0) the graph is partitioned into N parts,
+     * a match::PartitionedFeatureCache splits the same aggregate row
+     * budget into per-device shards, and every batch is additionally
+     * classified from its seed partition's owner device — filling
+     * TrainEpochStats::per_partition / peer_links. Pure accounting:
+     * gathered bits, losses and parameters are unaffected.
+     */
+    int num_gpus = 1;
+    /** Partitioner behind the num_gpus > 1 accounting pass. */
+    graph::PartitionerKind partitioner = graph::PartitionerKind::kLdg;
+    /** Shard-vs-replicate layout of the accounting cache. */
+    match::ShardMode shard_mode = match::ShardMode::kSharded;
+    /** Remote-row handling of the accounting cache. */
+    match::RemotePolicy remote_policy =
+        match::RemotePolicy::kFetchAndCache;
     uint64_t seed = 3407;
 };
 
@@ -89,6 +110,14 @@ struct TrainEpochStats
      *  (rows/bytes/seconds, plus fused cache hit/miss tallies when
      *  TrainerOptions::feature_cache_ratio is on). */
     match::GatherStats gather;
+    /** Modelled devices of the accounting pass (1 = off). */
+    int num_gpus = 1;
+    /** Summed sharded-cache counters (num_gpus > 1 only). */
+    match::PartitionCacheCounters shard_totals;
+    /** Sharded-cache traffic per graph partition (num_gpus > 1). */
+    std::vector<match::PartitionCacheCounters> per_partition;
+    /** Modelled interconnect traffic of remote rows (num_gpus > 1). */
+    std::vector<sim::PeerLinkStats> peer_links;
 };
 
 /** Owns the model, optimizer and sampler; runs real training epochs. */
@@ -128,6 +157,19 @@ class Trainer
         return feature_cache_.get();
     }
 
+    /** Sharded accounting cache (null unless num_gpus > 1 and
+     *  feature_cache_ratio > 0). */
+    const match::PartitionedFeatureCache *sharded_feature_cache() const
+    {
+        return sharded_features_.get();
+    }
+
+    /** Cache-sharding partitioning; empty when num_gpus == 1. */
+    const graph::Partitioning &partitioning() const
+    {
+        return partitioning_;
+    }
+
   private:
     /**
      * Gather one feature row per subgraph node through the batched
@@ -150,6 +192,10 @@ class Trainer
      *  arena recycled) by the next gather_features call. */
     match::FeaturePanel panel_;
     std::unique_ptr<match::StaticFeatureCache> feature_cache_;
+    /** The next three exist only when num_gpus > 1 (accounting). */
+    graph::Partitioning partitioning_;
+    std::unique_ptr<match::PartitionedFeatureCache> sharded_features_;
+    std::unique_ptr<sim::PeerTopology> topo_;
     compute::ComputeCostModel cost_model_;
     std::unique_ptr<compute::GnnModel> model_;
     std::unique_ptr<compute::Optimizer> optimizer_;

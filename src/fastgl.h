@@ -28,13 +28,16 @@
 #include "core/async_pipeline.h"
 #include "core/framework_config.h"
 #include "core/memory_estimator.h"
+#include "core/multi_gpu.h"
 #include "core/pipeline.h"
 #include "core/timeline.h"
 #include "core/trainer.h"
 #include "graph/datasets.h"
 #include "graph/generators.h"
+#include "graph/partition.h"
 #include "match/feature_cache.h"
 #include "match/match.h"
+#include "match/partitioned_cache.h"
 #include "match/reorder.h"
 #include "sample/batch_splitter.h"
 #include "sample/neighbor_sampler.h"
@@ -42,6 +45,7 @@
 #include "serve/load_generator.h"
 #include "serve/server.h"
 #include "sim/gpu_spec.h"
+#include "sim/peer_link.h"
 #include "sim/roofline.h"
 #include "util/logging.h"
 #include "util/stats.h"

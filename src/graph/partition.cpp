@@ -1,6 +1,8 @@
 #include "graph/partition.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <numeric>
 #include <queue>
 
@@ -142,6 +144,78 @@ partition_ldg(const CsrGraph &graph, int num_parts)
         part_of[static_cast<size_t>(u)] = best;
         ++size[static_cast<size_t>(best)];
     }
+    return finalize(std::move(part_of), num_parts);
+}
+
+const char *
+partitioner_name(PartitionerKind kind)
+{
+    return kind == PartitionerKind::kBfs ? "bfs" : "ldg";
+}
+
+Partitioning
+partition_graph(const CsrGraph &graph, int num_parts,
+                PartitionerKind kind)
+{
+    return kind == PartitionerKind::kBfs
+               ? partition_bfs(graph, num_parts)
+               : partition_ldg(graph, num_parts);
+}
+
+namespace {
+
+constexpr char kPartitionMagic[] = "fastgl-partition-v1";
+
+} // namespace
+
+bool
+save_partitioning(const std::string &path, const Partitioning &parts)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        util::warn("cannot write partitioning to " + path);
+        return false;
+    }
+    std::fprintf(f, "%s %d %zu\n", kPartitionMagic, parts.num_parts(),
+                 parts.part_of.size());
+    for (int32_t p : parts.part_of)
+        std::fprintf(f, "%" PRId32 "\n", p);
+    std::fclose(f);
+    return true;
+}
+
+Partitioning
+load_partitioning(const std::string &path)
+{
+    Partitioning parts;
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f) {
+        util::warn("cannot read partitioning from " + path);
+        return parts;
+    }
+    char magic[32] = {0};
+    int num_parts = 0;
+    size_t num_nodes = 0;
+    if (std::fscanf(f, "%31s %d %zu", magic, &num_parts, &num_nodes) !=
+            3 ||
+        std::string(magic) != kPartitionMagic || num_parts < 1) {
+        util::warn("not a partitioning: " + path);
+        std::fclose(f);
+        return parts;
+    }
+    std::vector<int32_t> part_of(num_nodes, -1);
+    for (size_t i = 0; i < num_nodes; ++i) {
+        int32_t p = -1;
+        if (std::fscanf(f, "%" SCNd32, &p) != 1 || p < 0 ||
+            p >= num_parts) {
+            util::warn("truncated or out-of-range partitioning: " +
+                       path);
+            std::fclose(f);
+            return parts;
+        }
+        part_of[i] = p;
+    }
+    std::fclose(f);
     return finalize(std::move(part_of), num_parts);
 }
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "graph/csr_graph.h"
@@ -28,6 +29,8 @@ struct Partitioning
 
     int num_parts() const { return int(members.size()); }
 
+    bool empty() const { return members.empty(); }
+
     /** Number of edges whose endpoints lie in different partitions. */
     int64_t count_cut_edges(const CsrGraph &graph) const;
 
@@ -37,16 +40,51 @@ struct Partitioning
 
 /**
  * BFS partitioner: grow partitions by breadth-first traversal until each
- * holds ~n/k nodes. Deterministic for a given graph.
+ * holds ~n/k nodes. Deterministic for a given graph; disconnected
+ * graphs restart the traversal from the lowest unassigned node, and
+ * k > n leaves the surplus partitions empty (never a crash).
  */
 Partitioning partition_bfs(const CsrGraph &graph, int num_parts);
 
 /**
  * Streaming LDG partitioner: place each node (in degree-descending
  * order) into the partition holding most of its already-placed
- * neighbours, weighted by remaining capacity.
+ * neighbours, weighted by remaining capacity. Same edge-case contract
+ * as partition_bfs.
  */
 Partitioning partition_ldg(const CsrGraph &graph, int num_parts);
+
+/** The two partitioners, for options plumbing (CLI, server, trainer). */
+enum class PartitionerKind
+{
+    kBfs,
+    kLdg,
+};
+
+/** Printable partitioner name ("bfs", "ldg"). */
+const char *partitioner_name(PartitionerKind kind);
+
+/** Dispatch to partition_bfs / partition_ldg by @p kind. */
+Partitioning partition_graph(const CsrGraph &graph, int num_parts,
+                             PartitionerKind kind);
+
+/**
+ * Write @p parts to @p path in the versioned text format
+ * ("fastgl-partition-v1", one partition index per line) — the same
+ * compute-once-reuse-everywhere shape as match::save_warmup_trace, so
+ * an expensive partitioning is shared across train/serve/bench runs.
+ * @return false when the file cannot be written.
+ */
+bool save_partitioning(const std::string &path,
+                       const Partitioning &parts);
+
+/**
+ * Read a partitioning written by save_partitioning; members lists are
+ * rebuilt from the assignment vector.
+ * @return the partitioning; empty (and a warning is logged) when the
+ *         file is missing, malformed, or holds an out-of-range index.
+ */
+Partitioning load_partitioning(const std::string &path);
 
 } // namespace graph
 } // namespace fastgl

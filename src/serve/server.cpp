@@ -158,6 +158,25 @@ Server::Server(const graph::Dataset &dataset, ServerOptions opts,
                                    feature_rows_);
     }
 
+    // Multi-GPU serving: partition the graph, shard the feature cache
+    // along it, and model the device interconnect. Every device gets
+    // the resolved single-device row budget, so sharded vs replicated
+    // compare at identical per-device memory and sharding's win is
+    // pure coverage (the union of the shards holds ~N x the rows).
+    num_gpus_ = std::max(1, opts_.num_gpus);
+    if (num_gpus_ > 1) {
+        partitioning_ = graph::partition_graph(
+            dataset_.graph, num_gpus_, opts_.partitioner);
+        if (feature_rows_ > 0)
+            sharded_features_.emplace(partitioning_, ranking_,
+                                      feature_rows_, num_gpus_,
+                                      opts_.shard_mode,
+                                      opts_.remote_policy);
+        sim::PeerTopologyOptions peer = opts_.peer;
+        peer.num_devices = num_gpus_;
+        topo_ = std::make_unique<sim::PeerTopology>(spec_, peer);
+    }
+
     table_.set_touched_tracking(true);
 
     if (opts_.compute_logits) {
@@ -175,8 +194,18 @@ Server::Server(const graph::Dataset &dataset, ServerOptions opts,
     }
 }
 
+int
+Server::home_device(graph::NodeId node) const
+{
+    if (num_gpus_ <= 1)
+        return 0;
+    return partitioning_.part_of[static_cast<size_t>(node)] %
+           num_gpus_;
+}
+
 Server::BatchCost
-Server::cost_batch(size_t tier, const std::vector<PendingRequest> &batch)
+Server::cost_batch(size_t tier, int device,
+                   const std::vector<PendingRequest> &batch)
 {
     size_t hint = 0;
     for (const PendingRequest &pr : batch)
@@ -217,17 +246,35 @@ Server::cost_batch(size_t tier, const std::vector<PendingRequest> &batch)
 
     const std::vector<graph::NodeId> unique_nodes =
         table_.local_to_global();
-    cost.misses = feature_cache_
-                      ? feature_cache_->lookup_batch(unique_nodes)
-                      : cost.uniques;
     const uint64_t row_bytes = dataset_.features.row_bytes();
+    double peer_s = 0.0;
+    if (sharded_features_) {
+        const match::ShardLookup sl =
+            sharded_features_->lookup_batch(device, unique_nodes);
+        cost.misses = sl.misses;
+        // Rows resident on a peer device's shard cross the modelled
+        // interconnect instead of the host PCIe link.
+        for (int src = 0; src < num_gpus_; ++src) {
+            const int64_t rows =
+                sl.remote_rows_by_device[static_cast<size_t>(src)];
+            if (rows > 0)
+                peer_s += topo_->transfer(
+                    src, device,
+                    static_cast<uint64_t>(rows) * row_bytes);
+        }
+    } else {
+        cost.misses = feature_cache_
+                          ? feature_cache_->lookup_batch(unique_nodes)
+                          : cost.uniques;
+    }
     const uint64_t feature_bytes =
         static_cast<uint64_t>(cost.misses) * row_bytes;
     const uint64_t bytes = feature_bytes + topo_bytes;
     const double io_s =
         spec_.pcie_latency +
         static_cast<double>(bytes) / spec_.pcie_bw +
-        static_cast<double>(feature_bytes) / spec_.host_gather_bw;
+        static_cast<double>(feature_bytes) / spec_.host_gather_bw +
+        peer_s;
 
     // Inference is the forward pass only; the dedup factor credits the
     // aggregation work the shared local-ID space avoids recomputing.
@@ -288,7 +335,9 @@ Server::serve(const std::vector<InferenceRequest> &trace)
     // ---- read by the main thread only after the join.           ----
     struct VirtualState
     {
-        double gpu_free_at = 0.0;
+        /** Per-modelled-device busy-until time; [0] is the whole
+         *  timeline in single-GPU runs. */
+        std::vector<double> gpu_free_at;
         double last_event = 0.0;
         double busy = 0.0;
         double compute_wall = 0.0;   ///< Measured real-forward seconds.
@@ -300,22 +349,40 @@ Server::serve(const std::vector<InferenceRequest> &trace)
         ServingStats tallies; ///< Counter/latency fields only.
     } vs;
     vs.tallies.per_model.resize(num_tiers);
+    vs.gpu_free_at.assign(static_cast<size_t>(num_gpus_), 0.0);
+    auto min_free = [&] {
+        return *std::min_element(vs.gpu_free_at.begin(),
+                                 vs.gpu_free_at.end());
+    };
 
     // Per-tier virtual machinery: each hosted model has its own
-    // batcher and embedding cache; the device timeline, the feature
-    // cache, and the dedup table stay shared.
+    // batcher and one embedding cache per modelled device (a device's
+    // cache holds the embeddings its batches computed); the feature
+    // cache and the dedup table stay shared. Single-GPU runs build
+    // exactly the legacy one-cache-per-tier layout.
     std::vector<DynamicBatcher> batchers;
     std::vector<EmbeddingCache> embeddings;
     std::vector<double> pending_cost(num_tiers, 0.0); ///< DRR estimate.
     batchers.reserve(num_tiers);
-    embeddings.reserve(num_tiers);
+    embeddings.reserve(num_tiers * static_cast<size_t>(num_gpus_));
     for (const Tier &tier : tiers_) {
         batchers.emplace_back(tier.config.batcher);
-        embeddings.emplace_back(tier.embedding);
+        for (int d = 0; d < num_gpus_; ++d)
+            embeddings.emplace_back(tier.embedding);
     }
+    auto emb = [&](size_t m, int d) -> EmbeddingCache & {
+        return embeddings[m * static_cast<size_t>(num_gpus_) +
+                          static_cast<size_t>(d)];
+    };
     DrrScheduler drr(num_tiers, opts_.drr_quantum);
     if (feature_cache_)
         feature_cache_->reset_stats();
+    if (sharded_features_) {
+        sharded_features_->reset_stats();
+        sharded_features_->reset_overlay();
+    }
+    if (topo_)
+        topo_->reset();
 
     // Cache warmup: seed each tier's embedding cache with the hottest
     // nodes of the recorded ranking at virtual time 0, coldest first
@@ -324,14 +391,26 @@ Server::serve(const std::vector<InferenceRequest> &trace)
     // responses), not a side effect of previous runs.
     if (!opts_.warmup.empty()) {
         for (size_t m = 0; m < num_tiers; ++m) {
-            const int64_t rows =
-                std::min<int64_t>(tiers_[m].embedding.capacity_rows,
-                                  static_cast<int64_t>(ranking_.size()));
-            for (int64_t i = rows; i-- > 0;)
-                embeddings[m].update(ranking_[static_cast<size_t>(i)],
-                                     0.0);
-            vs.tallies.per_model[m].warmed_rows = embeddings[m].size();
-            vs.tallies.warmed_rows += embeddings[m].size();
+            for (int d = 0; d < num_gpus_; ++d) {
+                // The hottest rows this device owns (all rows when
+                // single-GPU), seeded coldest first so the hottest end
+                // up most-recently-used.
+                const int64_t cap = std::min<int64_t>(
+                    tiers_[m].embedding.capacity_rows,
+                    static_cast<int64_t>(ranking_.size()));
+                std::vector<graph::NodeId> owned;
+                for (graph::NodeId node : ranking_) {
+                    if (static_cast<int64_t>(owned.size()) >= cap)
+                        break;
+                    if (home_device(node) == d)
+                        owned.push_back(node);
+                }
+                for (size_t i = owned.size(); i-- > 0;)
+                    emb(m, d).update(owned[i], 0.0);
+                vs.tallies.per_model[m].warmed_rows +=
+                    emb(m, d).size();
+                vs.tallies.warmed_rows += emb(m, d).size();
+            }
         }
         vs.tallies.warmed = true;
     }
@@ -387,10 +466,18 @@ Server::serve(const std::vector<InferenceRequest> &trace)
         pending_cost[m] = 0.0;
         drr.reset(m); // queue emptied: no banked credit while idle
         const int64_t batch_id = vs.tallies.batches++;
-        const double start = std::max(vs.gpu_free_at, at);
-        const BatchCost cost = cost_batch(m, batch);
+        // Partition-affinity routing: the batch executes on the device
+        // owning its oldest request's first target, where that
+        // partition's hot rows are cached; 0 when single-GPU.
+        const int dev =
+            batch.front().request.targets.empty()
+                ? 0
+                : home_device(batch.front().request.targets[0]);
+        const double start =
+            std::max(vs.gpu_free_at[static_cast<size_t>(dev)], at);
+        const BatchCost cost = cost_batch(m, dev, batch);
         const double completion = start + cost.service;
-        vs.gpu_free_at = completion;
+        vs.gpu_free_at[static_cast<size_t>(dev)] = completion;
         vs.busy += cost.service;
         vs.batch_members += static_cast<int64_t>(batch.size());
         ModelTierStats &tier = vs.tallies.per_model[m];
@@ -406,6 +493,11 @@ Server::serve(const std::vector<InferenceRequest> &trace)
         vs.fingerprint = fnv(vs.fingerprint,
                              static_cast<uint64_t>(cost.misses));
         vs.fingerprint = fnv(vs.fingerprint, double_bits(completion));
+        // Routed device joins the digest only in multi-GPU runs, so
+        // single-GPU fingerprints stay byte-identical to earlier PRs.
+        if (num_gpus_ > 1)
+            vs.fingerprint =
+                fnv(vs.fingerprint, static_cast<uint64_t>(dev));
         for (const PendingRequest &pr : batch) {
             respond(pr.request,
                     completion > pr.request.deadline
@@ -414,7 +506,7 @@ Server::serve(const std::vector<InferenceRequest> &trace)
                     completion, batch_id);
             vs.inflight.push_back(completion);
             for (graph::NodeId node : pr.request.targets)
-                embeddings[m].update(node, completion);
+                emb(m, dev).update(node, completion);
         }
 
         // Real numeric forward (opt-in): runs on the sequencer thread,
@@ -500,15 +592,44 @@ Server::serve(const std::vector<InferenceRequest> &trace)
 
         // Embedding cache: a request whose every target has a fresh
         // embedding (from this tier's model) skips sampling, PCIe,
-        // and compute entirely.
+        // and compute entirely. The home device's cache is checked
+        // first (free hit); in multi-GPU runs a peer device whose
+        // batches computed all the targets serves the hit across the
+        // interconnect instead of re-running the model.
+        const int home =
+            req.targets.empty() ? 0 : home_device(req.targets[0]);
         bool all_fresh =
-            embeddings[m].enabled() && !req.targets.empty();
+            emb(m, home).enabled() && !req.targets.empty();
         for (graph::NodeId node : req.targets)
-            all_fresh = embeddings[m].lookup(node, now) && all_fresh;
+            all_fresh = emb(m, home).lookup(node, now) && all_fresh;
         if (all_fresh) {
             respond(req, Outcome::kEmbeddingHit,
                     now + spec_.kernel_launch_latency, -1);
             return;
+        }
+        if (num_gpus_ > 1 && emb(m, home).enabled() &&
+            !req.targets.empty()) {
+            const uint64_t row_bytes =
+                static_cast<uint64_t>(
+                    tiers_[m].config.model.hidden_dim) *
+                sizeof(float);
+            for (int d = 0; d < num_gpus_; ++d) {
+                if (d == home)
+                    continue;
+                bool fresh = true;
+                for (graph::NodeId node : req.targets)
+                    fresh = emb(m, d).lookup(node, now) && fresh;
+                if (!fresh)
+                    continue;
+                const double hop = topo_->transfer(
+                    d, home,
+                    static_cast<uint64_t>(req.targets.size()) *
+                        row_bytes);
+                ++vs.tallies.embedding_remote_hits;
+                respond(req, Outcome::kEmbeddingHit,
+                        now + spec_.kernel_launch_latency + hop, -1);
+                return;
+            }
         }
 
         // Admission control. The pending bound is weighted per class:
@@ -530,7 +651,7 @@ Server::serve(const std::vector<InferenceRequest> &trace)
             }
         }
         if (opts_.admission.early_drop &&
-            std::max(vs.gpu_free_at, now) >=
+            std::max(min_free(), now) >=
                 req.deadline -
                     opts_.admission.deadline_headroom[cls]) {
             respond(req, Outcome::kDroppedDeadline, 0.0, -1);
@@ -756,17 +877,38 @@ Server::serve(const std::vector<InferenceRequest> &trace)
             tier.batches ? tier.mean_batch_size /
                                static_cast<double>(tier.batches)
                          : 0.0;
-        tier.embedding_hit_rate = embeddings[m].hit_rate();
-        embed_hits += embeddings[m].hits();
-        embed_misses += embeddings[m].misses();
+        int64_t th = 0, tm = 0;
+        for (int d = 0; d < num_gpus_; ++d) {
+            th += emb(m, d).hits();
+            tm += emb(m, d).misses();
+        }
+        tier.embedding_hit_rate =
+            num_gpus_ == 1 ? emb(m, 0).hit_rate()
+            : th + tm      ? static_cast<double>(th) /
+                            static_cast<double>(th + tm)
+                           : 0.0;
+        embed_hits += th;
+        embed_misses += tm;
     }
     st.warmed = tl.warmed;
     st.warmed_rows = tl.warmed_rows;
-    if (feature_cache_) {
+    st.num_gpus = num_gpus_;
+    st.embedding_remote_hits = tl.embedding_remote_hits;
+    if (sharded_features_) {
+        const match::PartitionCacheCounters totals =
+            sharded_features_->totals();
+        st.feature_hits = totals.local_hits + totals.remote_hits;
+        st.feature_misses = totals.misses;
+        st.feature_hit_rate = totals.hit_rate();
+        st.feature_remote_hits = totals.remote_hits;
+        st.per_partition = sharded_features_->per_partition();
+    } else if (feature_cache_) {
         st.feature_hits = feature_cache_->hits();
         st.feature_misses = feature_cache_->misses();
         st.feature_hit_rate = feature_cache_->hit_rate();
     }
+    if (topo_)
+        st.peer_links = topo_->active_links();
     st.embedding_hit_rate =
         embed_hits + embed_misses
             ? static_cast<double>(embed_hits) /
@@ -774,7 +916,9 @@ Server::serve(const std::vector<InferenceRequest> &trace)
             : 0.0;
     st.gpu_busy_seconds = vs.busy;
     st.gpu_utilization =
-        st.makespan > 0.0 ? vs.busy / st.makespan : 0.0;
+        st.makespan > 0.0
+            ? vs.busy / (st.makespan * num_gpus_)
+            : 0.0;
     st.fingerprint = vs.fingerprint;
     st.compute_seconds = vs.compute_wall;
     st.compute_batches = vs.compute_batches;

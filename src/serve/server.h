@@ -58,8 +58,10 @@
 #include "compute/gnn_model.h"
 #include "compute/kernel_engine.h"
 #include "graph/datasets.h"
+#include "graph/partition.h"
 #include "match/feature_cache.h"
 #include "match/gather_engine.h"
+#include "match/partitioned_cache.h"
 #include "sample/fused_hash_table.h"
 #include "serve/batcher.h"
 #include "serve/embedding_cache.h"
@@ -67,6 +69,7 @@
 #include "serve/scheduler.h"
 #include "sim/gpu_spec.h"
 #include "sim/kernel_model.h"
+#include "sim/peer_link.h"
 #include "util/bounded_queue.h"
 #include "util/shutdown.h"
 #include "util/stats.h"
@@ -191,6 +194,28 @@ struct ServerOptions
      *  0 = hardware concurrency. Predictions are bit-identical at any
      *  width and worker_threads count. */
     int compute_threads = 1;
+    /**
+     * Modelled device count. 1 (the default) is the legacy
+     * single-device server, bit-identical to earlier PRs. With N > 1
+     * the graph is partitioned into N parts (see `partitioner`), the
+     * feature cache becomes a match::PartitionedFeatureCache whose
+     * shard d owns partition d's hot rows, each tier gets one
+     * embedding cache per device, batches route to the device owning
+     * their oldest request's first target, and rows resident on a peer
+     * shard cross the modelled interconnect (see `peer`) instead of
+     * PCIe. All of it stays on the virtual clock — bit-identical at
+     * any worker count.
+     */
+    int num_gpus = 1;
+    /** Partitioner that shards the caches when num_gpus > 1. */
+    graph::PartitionerKind partitioner = graph::PartitionerKind::kLdg;
+    /** Shard the cache budget or replicate the hottest rows. */
+    match::ShardMode shard_mode = match::ShardMode::kSharded;
+    /** Remote-row handling of the sharded feature cache. */
+    match::RemotePolicy remote_policy =
+        match::RemotePolicy::kFetchAndCache;
+    /** Interconnect shape; num_devices is overridden by num_gpus. */
+    sim::PeerTopologyOptions peer;
     uint64_t seed = 1;
 
     // --- Test hooks (no-ops when unset; not for production use) ---
@@ -276,6 +301,16 @@ struct ServingStats
     bool warmed = false;
     /** Embedding rows pre-seeded across all tiers (0 on cold starts). */
     int64_t warmed_rows = 0;
+    /** Modelled devices this run executed on (ServerOptions::num_gpus). */
+    int num_gpus = 1;
+    /** Feature rows served from a peer device's shard (num_gpus > 1). */
+    int64_t feature_remote_hits = 0;
+    /** Requests answered from a peer device's embedding cache. */
+    int64_t embedding_remote_hits = 0;
+    /** Feature-cache traffic per graph partition (num_gpus > 1). */
+    std::vector<match::PartitionCacheCounters> per_partition;
+    /** Cumulative traffic of every active interconnect link. */
+    std::vector<sim::PeerLinkStats> peer_links;
 
     // --- Measured host-side (vary run to run; never fed back) ---
     double wall_seconds = 0.0;
@@ -336,6 +371,13 @@ class Server
 
     int worker_threads() const { return worker_threads_; }
     int64_t feature_cache_rows() const { return feature_rows_; }
+    /** Modelled devices (>= 1); see ServerOptions::num_gpus. */
+    int num_gpus() const { return num_gpus_; }
+    /** Cache-sharding partitioning; empty when num_gpus == 1. */
+    const graph::Partitioning &partitioning() const
+    {
+        return partitioning_;
+    }
     /** Resolved embedding-cache capacity of tier @p model. */
     int64_t
     embedding_cache_rows(size_t model = 0) const
@@ -366,9 +408,13 @@ class Server
         std::unique_ptr<compute::GnnModel> model;
     };
 
-    /** Modelled service seconds of one closed micro-batch of @p tier. */
-    BatchCost cost_batch(size_t tier,
+    /** Modelled service seconds of one closed micro-batch of @p tier,
+     *  executing on modelled device @p device. */
+    BatchCost cost_batch(size_t tier, int device,
                          const std::vector<PendingRequest> &batch);
+
+    /** Device owning @p node's partition; 0 when num_gpus == 1. */
+    int home_device(graph::NodeId node) const;
 
     const graph::Dataset &dataset_;
     ServerOptions opts_;
@@ -378,6 +424,11 @@ class Server
     std::vector<graph::NodeId> ranking_;
     std::optional<match::StaticFeatureCache> feature_cache_;
     int64_t feature_rows_ = 0;
+    int num_gpus_ = 1;
+    /** The next three exist only when num_gpus_ > 1. */
+    graph::Partitioning partitioning_;
+    std::optional<match::PartitionedFeatureCache> sharded_features_;
+    std::unique_ptr<sim::PeerTopology> topo_;
     std::vector<Tier> tiers_; ///< >= 1; [0] is the legacy single model.
     int worker_threads_ = 1;
     /**

@@ -48,7 +48,7 @@ if [[ "${FASTGL_TSAN:-0}" == "1" ]]; then
     run_config build-tsan -DFASTGL_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-        -R 'BoundedQueue|ThreadPool|AsyncPipeline|Determinism|Serve|StageShutdown|ComputeKernels|Gather|FrequencyHashmap|FeaturePanel'
+        -R 'BoundedQueue|ThreadPool|AsyncPipeline|Determinism|Serve|StageShutdown|ComputeKernels|Gather|FrequencyHashmap|FeaturePanel|MultiGpu|Partition|PeerTopology'
 fi
 
 if [[ "${FASTGL_NO_PERF:-0}" != "1" ]]; then
@@ -129,6 +129,21 @@ if [[ "${FASTGL_NO_PERF:-0}" != "1" ]]; then
         echo "gather bench: witness mismatch" >&2
         exit 1
     fi
+
+    # Multi-GPU smoke: the N-device timeline grid (symmetric vs
+    # factored vs factored+switcher) and the sharded-vs-replicated
+    # serving grid. The bench is divergence-fatal — it re-runs every
+    # timeline config and sweeps serving worker counts, exiting
+    # non-zero on any fingerprint mismatch — and gates its virtual-
+    # clock claims (single-GPU exactness vs the legacy scheduler, the
+    # switcher paying off when sample-bound, sharding beating
+    # replication on hit rate). All deterministic, safe to fail CI on.
+    echo "==> multi-GPU smoke (Release)"
+    cmake --build build-perf-ci --target bench_ext_multigpu -j "$JOBS"
+    ./build-perf-ci/bench/bench_ext_multigpu --smoke \
+        | tee BENCH_multigpu.json
+    python3 -m json.tool BENCH_multigpu.json > /dev/null
+    grep -q '"ok": true' BENCH_multigpu.json
 fi
 
 echo "==> CI OK"

@@ -106,6 +106,42 @@ parse_framework(const std::string &name)
                 "' (pyg|dgl|gnnadvisor|gnnlab|fastgl)");
 }
 
+graph::PartitionerKind
+parse_partitioner(const std::string &name)
+{
+    if (name == "bfs")
+        return graph::PartitionerKind::kBfs;
+    if (name == "ldg")
+        return graph::PartitionerKind::kLdg;
+    util::fatal("unknown partitioner '" + name + "' (bfs|ldg)");
+}
+
+/** Shared epoch/serve summary of partition-sharded cache traffic. */
+void
+print_partition_traffic(
+    const std::vector<match::PartitionCacheCounters> &per_partition,
+    const std::vector<sim::PeerLinkStats> &peer_links)
+{
+    for (size_t p = 0; p < per_partition.size(); ++p) {
+        const match::PartitionCacheCounters &c = per_partition[p];
+        if (c.lookups() == 0)
+            continue;
+        std::printf("  partition %zu: %lld local + %lld remote hits, "
+                    "%lld misses (%.1f%% hit)\n",
+                    p, static_cast<long long>(c.local_hits),
+                    static_cast<long long>(c.remote_hits),
+                    static_cast<long long>(c.misses),
+                    100.0 * c.hit_rate());
+    }
+    for (const sim::PeerLinkStats &link : peer_links)
+        std::printf("  link %d->%d (%s): %s in %lld transfers, %s\n",
+                    link.src, link.dst,
+                    sim::peer_link_kind_name(link.kind),
+                    util::human_bytes(double(link.bytes)).c_str(),
+                    static_cast<long long>(link.transfers),
+                    util::human_seconds(link.seconds).c_str());
+}
+
 compute::ModelType
 parse_model(const std::string &name)
 {
@@ -154,6 +190,12 @@ usage_train()
         "  --lr-milli N         learning rate in thousandths (3)\n"
         "  --compute-threads N  kernel-engine width; results are\n"
         "                       bit-identical at any width (preset)\n"
+        "  --gpus N             modelled devices for partition-sharded\n"
+        "                       cache accounting; 1 = off (1)\n"
+        "  --partitioner P      bfs|ldg shard partitioner (ldg)\n"
+        "  --cache-pct N        feature-cache capacity percent; the\n"
+        "                       shards split this budget (0, or 20\n"
+        "                       when --gpus > 1)\n"
         "  --scale-pct N        replica scale percent (50)\n"
         "  --save-warmup PATH   record per-node access frequencies\n"
         "                       over all epochs and write a serving\n"
@@ -192,6 +234,12 @@ usage_serve()
         "                     recorded by train --save-warmup (off)\n"
         "  --threads N        host sampler threads; no effect on\n"
         "                     modelled results (4)\n"
+        "  --gpus N           modelled devices; caches shard along a\n"
+        "                     graph partitioning and batches route to\n"
+        "                     their partition's owner (1)\n"
+        "  --partitioner P    bfs|ldg shard partitioner (ldg)\n"
+        "  --shard S          sharded|replicated cache layout "
+        "(sharded)\n"
         "compute:\n"
         "  --logits 0|1       run the real forward per batch and\n"
         "                     fill predictions (0)\n"
@@ -275,14 +323,22 @@ run_train(const Args &args)
         core::framework_preset(core::Framework::kFastGL)
             .compute_threads));
     opts.seed = uint64_t(args.get_int("seed", 3407));
+    opts.num_gpus = int(args.get_int("gpus", 1));
+    opts.partitioner = parse_partitioner(args.get("partitioner", "ldg"));
+    // The shards need a cache budget: default one in when --gpus asks
+    // for the accounting pass but no --cache-pct was given.
+    opts.feature_cache_ratio =
+        double(args.get_int("cache-pct", opts.num_gpus > 1 ? 20 : 0)) /
+        100.0;
     const std::string warmup_path = args.get("save-warmup", "");
     opts.record_node_frequencies = !warmup_path.empty();
     core::Trainer trainer(ds, opts);
 
     const int epochs = int(args.get_int("epochs", 3));
-    std::printf("training %s on %s (%d epochs)\n",
+    std::printf("training %s on %s (%d epochs%s)\n",
                 compute::model_type_name(opts.model.type),
-                ds.name.c_str(), epochs);
+                ds.name.c_str(), epochs,
+                opts.num_gpus > 1 ? ", sharded cache accounting" : "");
     match::WarmupTrace warmup;
     for (int e = 0; e < epochs; ++e) {
         const auto stats = trainer.train_epoch();
@@ -294,6 +350,21 @@ run_train(const Args &args)
                     stats.measured_compute.gemm_gflops(),
                     stats.measured_compute.agg_bytes_per_edge(),
                     stats.modelled_compute_seconds);
+        if (stats.num_gpus > 1) {
+            std::printf("  %d modelled devices (%s): %lld local + "
+                        "%lld remote hits, %lld misses (%.1f%% hit)\n",
+                        stats.num_gpus,
+                        graph::partitioner_name(opts.partitioner),
+                        static_cast<long long>(
+                            stats.shard_totals.local_hits),
+                        static_cast<long long>(
+                            stats.shard_totals.remote_hits),
+                        static_cast<long long>(
+                            stats.shard_totals.misses),
+                        100.0 * stats.shard_totals.hit_rate());
+            print_partition_traffic(stats.per_partition,
+                                    stats.peer_links);
+        }
         if (opts.record_node_frequencies) {
             if (warmup.frequencies.empty())
                 warmup.frequencies = stats.node_frequencies;
@@ -339,6 +410,15 @@ run_serve(const Args &args)
     sopts.embedding.capacity_rows = args.get_int("embed-rows", -1);
     sopts.compute_logits = args.get_int("logits", 0) != 0;
     sopts.compute_threads = int(args.get_int("compute-threads", 1));
+    sopts.num_gpus = int(args.get_int("gpus", 1));
+    sopts.partitioner =
+        parse_partitioner(args.get("partitioner", "ldg"));
+    const std::string shard = args.get("shard", "sharded");
+    if (shard == "replicated")
+        sopts.shard_mode = match::ShardMode::kReplicated;
+    else if (shard != "sharded")
+        util::fatal("unknown shard mode '" + shard +
+                    "' (sharded|replicated)");
     sopts.seed = uint64_t(args.get_int("seed", 1));
 
     // --model2 hosts a second tier behind the same front door; both
@@ -423,6 +503,16 @@ run_serve(const Args &args)
     if (st.warmed)
         std::printf("  warmup: %lld embedding rows pre-seeded\n",
                     static_cast<long long>(st.warmed_rows));
+    if (st.num_gpus > 1) {
+        std::printf("  %d modelled devices (%s, %s): %lld remote "
+                    "feature hits, %lld remote embedding hits\n",
+                    st.num_gpus,
+                    graph::partitioner_name(sopts.partitioner),
+                    match::shard_mode_name(sopts.shard_mode),
+                    static_cast<long long>(st.feature_remote_hits),
+                    static_cast<long long>(st.embedding_remote_hits));
+        print_partition_traffic(st.per_partition, st.peer_links);
+    }
     for (size_t c = 0; c < serve::kNumPriorityClasses; ++c) {
         const serve::PriorityClassStats &cls = st.per_class[c];
         if (cls.offered == 0)
