@@ -1,5 +1,7 @@
 #include "core/trainer.h"
 
+#include <deque>
+
 #include "sample/frequency_hashmap.h"
 #include "sim/gpu_spec.h"
 #include "util/logging.h"
@@ -43,6 +45,7 @@ Trainer::Trainer(const graph::Dataset &dataset, TrainerOptions opts)
     gather_engine_ =
         std::make_unique<match::GatherEngine>(opts_.gather_threads);
 
+    std::vector<graph::NodeId> hot_ranking;
     if (opts_.feature_cache_ratio > 0.0) {
         // Presample with dedicated sampler/splitter instances on
         // derived seeds so the training RNG streams stay untouched —
@@ -65,8 +68,9 @@ Trainer::Trainer(const graph::Dataset &dataset, TrainerOptions opts)
             std::min<int64_t>(kPresampleBatches, presplit.num_batches());
         for (int64_t b = 0; b < pre_batches; ++b)
             freq.add_stream(presampler.sample(presplit.batch(b)).nodes);
-        const auto ranking = match::presample_ranking(
+        hot_ranking = match::presample_ranking(
             freq.uniques(), freq.counts(), dataset.graph.num_nodes());
+        const auto &ranking = hot_ranking;
         const auto capacity = static_cast<int64_t>(
             double(dataset.graph.num_nodes()) * opts_.feature_cache_ratio);
         feature_cache_ = std::make_unique<match::StaticFeatureCache>(
@@ -91,6 +95,20 @@ Trainer::Trainer(const graph::Dataset &dataset, TrainerOptions opts)
             topo_ = std::make_unique<sim::PeerTopology>(sim::rtx3090(),
                                                         peer);
         }
+    }
+
+    // Out-of-core tier: host-DRAM residency follows the same hotness
+    // ranking as the feature cache (degree order when no presample ran)
+    // and the storage layout reuses the cache-sharding partitioning
+    // when one exists. Accounting only — nothing here feeds back into
+    // sampling, gathering, or the training trajectory.
+    if (opts_.storage.storage != store::StorageKind::kNone) {
+        if (hot_ranking.empty())
+            hot_ranking = match::degree_ranking(dataset_.graph);
+        tiered_store_ = std::make_unique<store::TieredFeatureStore>(
+            dataset_.features, dataset_.graph, hot_ranking,
+            partitioning_.empty() ? nullptr : &partitioning_,
+            feature_cache_.get(), opts_.storage);
     }
 }
 
@@ -143,13 +161,35 @@ Trainer::train_epoch()
         sharded_features_->reset_overlay();
         topo_->reset();
     }
+    if (tiered_store_)
+        tiered_store_->begin_run();
     if (opts_.record_node_frequencies)
         stats.node_frequencies.assign(
             static_cast<size_t>(dataset_.graph.num_nodes()), 0);
     double loss_sum = 0.0, acc_sum = 0.0;
+    // Sampler lookahead for the storage prefetcher: batches are still
+    // sampled strictly in order 0,1,2,... (every RNG stream untouched),
+    // but up to prefetch_depth of them sit in this buffer before being
+    // consumed — the window AsyncPipeline's producer naturally has —
+    // so their node sets can prefetch storage blocks early.
+    std::deque<sample::SampledSubgraph> lookahead;
+    int64_t next_to_sample = 0;
+    const int64_t depth = (tiered_store_ && tiered_store_->active())
+                              ? std::max(0, opts_.storage.prefetch_depth)
+                              : 0;
     for (int64_t b = 0; b < num_batches; ++b) {
-        sample::SampledSubgraph sg =
-            sampler_->sample(splitter_.batch(b));
+        const int64_t horizon = std::min(b + depth, num_batches - 1);
+        while (next_to_sample <= horizon) {
+            lookahead.push_back(
+                sampler_->sample(splitter_.batch(next_to_sample)));
+            if (next_to_sample > b)
+                stats.storage_hidden_seconds +=
+                    tiered_store_->stage_future_batch(
+                        next_to_sample, lookahead.back().nodes);
+            ++next_to_sample;
+        }
+        sample::SampledSubgraph sg = std::move(lookahead.front());
+        lookahead.pop_front();
         if (opts_.record_node_frequencies) {
             for (graph::NodeId u : sg.nodes)
                 ++stats.node_frequencies[static_cast<size_t>(u)];
@@ -175,6 +215,41 @@ Trainer::train_epoch()
                                     static_cast<uint64_t>(rows) *
                                         row_bytes);
             }
+            if (tiered_store_ && tiered_store_->active()) {
+                // Misses that also miss host DRAM pay a storage read;
+                // rows owned by a peer device additionally re-cross
+                // the interconnect to reach the device running the
+                // batch (one transfer per source device).
+                stats.storage_stall_seconds +=
+                    tiered_store_->charge_miss_rows(sl.miss_nodes);
+                std::vector<int64_t> storage_rows(
+                    static_cast<size_t>(opts_.num_gpus), 0);
+                for (graph::NodeId u : sl.miss_nodes) {
+                    if (tiered_store_->host_resident(u))
+                        continue;
+                    const int owner =
+                        sharded_features_->owner_device(u);
+                    if (owner != dev)
+                        ++storage_rows[static_cast<size_t>(owner)];
+                }
+                for (int src = 0; src < opts_.num_gpus; ++src) {
+                    const int64_t rows =
+                        storage_rows[static_cast<size_t>(src)];
+                    if (rows > 0)
+                        topo_->transfer(src, dev,
+                                        static_cast<uint64_t>(rows) *
+                                            row_bytes);
+                }
+            }
+        }
+        if (tiered_store_ && tiered_store_->active()) {
+            // Demand charge for the batch being gathered now (the
+            // sharded path charged its own miss rows above), then
+            // retire it from the prefetch window.
+            if (!sharded_features_)
+                stats.storage_stall_seconds +=
+                    tiered_store_->charge_batch(sg.nodes);
+            tiered_store_->complete_batch(b);
         }
         compute::Tensor x = gather_features(sg);
         if (opts_.input_dropout > 0.0f)
@@ -212,6 +287,10 @@ Trainer::train_epoch()
         stats.per_partition = sharded_features_->per_partition();
         stats.peer_links = topo_->active_links();
     }
+    if (tiered_store_)
+        stats.store = tiered_store_->stats();
+    stats.modelled_epoch_seconds =
+        stats.modelled_compute_seconds + stats.storage_stall_seconds;
     return stats;
 }
 

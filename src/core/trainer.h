@@ -23,6 +23,7 @@
 #include "match/gather_engine.h"
 #include "match/partitioned_cache.h"
 #include "sim/peer_link.h"
+#include "store/tiered_store.h"
 #include "sample/batch_splitter.h"
 #include "sample/neighbor_sampler.h"
 #include "util/rng.h"
@@ -84,6 +85,16 @@ struct TrainerOptions
     /** Remote-row handling of the accounting cache. */
     match::RemotePolicy remote_policy =
         match::RemotePolicy::kFetchAndCache;
+    /**
+     * Out-of-core tier (store::TieredFeatureStore): rows beyond the
+     * host-DRAM budget live on a modelled NVMe/SSD drive, and the
+     * epoch loop samples `storage.prefetch_depth` batches ahead so
+     * future batches' blocks prefetch while earlier batches compute.
+     * Pure accounting, like the caches: the sampling order — and with
+     * it every RNG stream, gathered panel, loss, and parameter — is
+     * bit-identical with storage on or off.
+     */
+    store::TieredStoreOptions storage;
     uint64_t seed = 3407;
 };
 
@@ -118,6 +129,16 @@ struct TrainEpochStats
     std::vector<match::PartitionCacheCounters> per_partition;
     /** Modelled interconnect traffic of remote rows (num_gpus > 1). */
     std::vector<sim::PeerLinkStats> peer_links;
+    /** Out-of-core tier counters (zero when storage is off). */
+    store::StoreStats store;
+    /** Demand storage-read seconds the gather path stalled on. */
+    double storage_stall_seconds = 0.0;
+    /** Prefetch storage-read seconds overlapped with compute. */
+    double storage_hidden_seconds = 0.0;
+    /** Modelled epoch seconds: compute plus the storage stall. With
+     *  every row in host DRAM this equals modelled_compute_seconds
+     *  exactly — the bench's in-memory baseline. */
+    double modelled_epoch_seconds = 0.0;
 };
 
 /** Owns the model, optimizer and sampler; runs real training epochs. */
@@ -170,6 +191,12 @@ class Trainer
         return partitioning_;
     }
 
+    /** Out-of-core tier (null when TrainerOptions::storage is none). */
+    const store::TieredFeatureStore *tiered_store() const
+    {
+        return tiered_store_.get();
+    }
+
   private:
     /**
      * Gather one feature row per subgraph node through the batched
@@ -196,6 +223,8 @@ class Trainer
     graph::Partitioning partitioning_;
     std::unique_ptr<match::PartitionedFeatureCache> sharded_features_;
     std::unique_ptr<sim::PeerTopology> topo_;
+    /** Out-of-core tier; null when storage is kNone. */
+    std::unique_ptr<store::TieredFeatureStore> tiered_store_;
     compute::ComputeCostModel cost_model_;
     std::unique_ptr<compute::GnnModel> model_;
     std::unique_ptr<compute::Optimizer> optimizer_;

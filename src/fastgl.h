@@ -10,6 +10,7 @@
  *  - fastgl::sim     — RTX-3090 device model (caches, PCIe, kernels)
  *  - fastgl::sample  — k-hop / random-walk samplers, Fused-Map ID mapping
  *  - fastgl::match   — Match-Reorder transfer planning, feature caches
+ *  - fastgl::store   — out-of-core tiered feature store (NVMe model)
  *  - fastgl::compute — GCN/GIN/GAT numerics + Memory-Aware cost model
  *  - fastgl::core    — framework presets, epoch pipeline, trainer
  *  - fastgl::serve   — online inference serving (batching, SLO control)
@@ -47,6 +48,11 @@
 #include "sim/gpu_spec.h"
 #include "sim/peer_link.h"
 #include "sim/roofline.h"
+#include "sim/storage_link.h"
+#include "store/feature_layout.h"
+#include "store/io_scheduler.h"
+#include "store/prefetcher.h"
+#include "store/tiered_store.h"
 #include "util/logging.h"
 #include "util/stats.h"
 #include "util/table.h"

@@ -11,6 +11,23 @@
 namespace fastgl {
 namespace match {
 
+int64_t
+cache_fill_budget(int64_t capacity_rows, int64_t ranking_rows)
+{
+    return std::max<int64_t>(
+        0, std::min<int64_t>(capacity_rows, ranking_rows));
+}
+
+void
+check_cache_budget(int64_t resident_rows, int64_t capacity_rows,
+                   const char *what)
+{
+    FASTGL_CHECK(resident_rows >= 0,
+                 std::string(what) + ": negative resident rows");
+    FASTGL_CHECK(resident_rows <= std::max<int64_t>(0, capacity_rows),
+                 std::string(what) + ": resident rows exceed capacity");
+}
+
 StaticFeatureCache::StaticFeatureCache(
     graph::NodeId num_nodes, const std::vector<graph::NodeId> &ranking,
     int64_t capacity_rows)
@@ -18,13 +35,18 @@ StaticFeatureCache::StaticFeatureCache(
       capacity_rows_(capacity_rows)
 {
     const int64_t fill =
-        std::min<int64_t>(capacity_rows, int64_t(ranking.size()));
+        cache_fill_budget(capacity_rows, int64_t(ranking.size()));
     for (int64_t i = 0; i < fill; ++i) {
         const graph::NodeId node = ranking[static_cast<size_t>(i)];
         FASTGL_CHECK(node >= 0 && node < num_nodes,
                      "ranking node out of range");
-        cached_[static_cast<size_t>(node)] = true;
+        if (!cached_[static_cast<size_t>(node)]) {
+            cached_[static_cast<size_t>(node)] = true;
+            ++resident_rows_;
+        }
     }
+    check_cache_budget(resident_rows_, capacity_rows_,
+                       "StaticFeatureCache");
 }
 
 int64_t

@@ -20,6 +20,23 @@
 namespace fastgl {
 namespace match {
 
+/**
+ * Rows a fill loop may mark resident out of a @p capacity_rows budget
+ * and a @p ranking_rows -long hotness ranking: min of the two, clamped
+ * non-negative. StaticFeatureCache and PartitionedFeatureCache both
+ * size their fills through this one helper so the budget arithmetic
+ * cannot drift between them.
+ */
+int64_t cache_fill_budget(int64_t capacity_rows, int64_t ranking_rows);
+
+/**
+ * Budget invariant shared by every cache tier: panics (FASTGL_CHECK)
+ * unless 0 <= @p resident_rows <= max(0, @p capacity_rows). @p what
+ * names the violating cache in the panic message.
+ */
+void check_cache_budget(int64_t resident_rows, int64_t capacity_rows,
+                        const char *what);
+
 /** How the static cache ranks node hotness. */
 enum class CachePolicy
 {
@@ -77,6 +94,17 @@ class StaticFeatureCache
     }
 
     int64_t capacity_rows() const { return capacity_rows_; }
+
+    /** Rows actually resident (<= capacity_rows(), budget-checked). */
+    int64_t resident_rows() const { return resident_rows_; }
+
+    /** Bytes the resident rows occupy at @p row_bytes per row. */
+    uint64_t
+    resident_bytes(uint64_t row_bytes) const
+    {
+        return static_cast<uint64_t>(resident_rows_) * row_bytes;
+    }
+
     int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
     int64_t
     misses() const
@@ -102,6 +130,7 @@ class StaticFeatureCache
   private:
     std::vector<bool> cached_;
     int64_t capacity_rows_;
+    int64_t resident_rows_ = 0;
     mutable std::atomic<int64_t> hits_{0};
     mutable std::atomic<int64_t> misses_{0};
 };

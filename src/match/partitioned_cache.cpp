@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "match/feature_cache.h"
 #include "util/logging.h"
 
 namespace fastgl {
@@ -81,9 +82,13 @@ PartitionedFeatureCache::PartitionedFeatureCache(
             resident_rows_[static_cast<size_t>(d)] =
                 filled[static_cast<size_t>(d)];
     } else {
+        // Replicated fill: same shared budget clamp as the static
+        // cache — the ranking may be shorter than the budget.
+        const int64_t fill = cache_fill_budget(
+            fill_budget, static_cast<int64_t>(ranking.size()));
         int64_t filled = 0;
         for (graph::NodeId node : ranking) {
-            if (filled >= fill_budget)
+            if (filled >= fill)
                 break;
             for (int d = 0; d < num_devices_; ++d)
                 resident_[static_cast<size_t>(d)]
@@ -93,6 +98,9 @@ PartitionedFeatureCache::PartitionedFeatureCache(
         resident_rows_.assign(static_cast<size_t>(num_devices_),
                               filled);
     }
+    for (int d = 0; d < num_devices_; ++d)
+        check_cache_budget(resident_rows_[static_cast<size_t>(d)],
+                           capacity_, "PartitionedFeatureCache");
 }
 
 int64_t
@@ -154,6 +162,7 @@ PartitionedFeatureCache::lookup_batch(
         }
         ++result.misses;
         ++counters.misses;
+        result.miss_nodes.push_back(node);
     }
     return result;
 }

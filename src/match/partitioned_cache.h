@@ -79,6 +79,14 @@ struct ShardLookup
      * for charging the (d -> looking device) peer link.
      */
     std::vector<int64_t> remote_rows_by_device;
+    /**
+     * The nodes behind `misses`, batch order — rows resident on no
+     * shard. The out-of-core tier (store::TieredFeatureStore) takes
+     * these to decide which misses also miss host DRAM and must pay a
+     * storage read (plus the peer link when the row's owner device is
+     * not the looking device).
+     */
+    std::vector<graph::NodeId> miss_nodes;
 };
 
 /** Fill-once feature cache sharded across modelled devices. */
@@ -111,6 +119,17 @@ class PartitionedFeatureCache
     ShardMode mode() const { return mode_; }
     RemotePolicy policy() const { return policy_; }
     int64_t capacity_rows_per_device() const { return capacity_; }
+
+    /** Per-device budget — the StaticFeatureCache accessor pair, so
+     *  tooling can treat the two cache types uniformly. */
+    int64_t capacity_rows() const { return capacity_; }
+
+    /** Bytes resident on @p device at @p row_bytes per row. */
+    uint64_t
+    resident_bytes(int device, uint64_t row_bytes) const
+    {
+        return static_cast<uint64_t>(resident_rows(device)) * row_bytes;
+    }
 
     /** Device owning @p node's partition (partition % num_devices). */
     int

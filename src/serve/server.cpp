@@ -177,6 +177,18 @@ Server::Server(const graph::Dataset &dataset, ServerOptions opts,
         topo_ = std::make_unique<sim::PeerTopology>(spec_, peer);
     }
 
+    // Out-of-core tier: host-DRAM residency follows the serving
+    // hotness ranking; the storage layout reuses the multi-GPU
+    // partitioning when one exists. The feature cache sits above it,
+    // so device-resident rows never reach the drive model.
+    if (opts_.storage.storage != store::StorageKind::kNone) {
+        tiered_store_ = std::make_unique<store::TieredFeatureStore>(
+            dataset_.features, dataset_.graph, ranking_,
+            partitioning_.empty() ? nullptr : &partitioning_,
+            feature_cache_ ? &*feature_cache_ : nullptr,
+            opts_.storage);
+    }
+
     table_.set_touched_tracking(true);
 
     if (opts_.compute_logits) {
@@ -248,6 +260,7 @@ Server::cost_batch(size_t tier, int device,
         table_.local_to_global();
     const uint64_t row_bytes = dataset_.features.row_bytes();
     double peer_s = 0.0;
+    double storage_s = 0.0;
     if (sharded_features_) {
         const match::ShardLookup sl =
             sharded_features_->lookup_batch(device, unique_nodes);
@@ -262,10 +275,36 @@ Server::cost_batch(size_t tier, int device,
                     src, device,
                     static_cast<uint64_t>(rows) * row_bytes);
         }
+        if (tiered_store_ && tiered_store_->active()) {
+            // Shard misses that also miss host DRAM pay a storage
+            // read, plus the interconnect when the row's owner is a
+            // peer device (the read lands on the owner's partition).
+            storage_s +=
+                tiered_store_->charge_miss_rows(sl.miss_nodes);
+            std::vector<int64_t> rows_by_owner(
+                static_cast<size_t>(num_gpus_), 0);
+            for (graph::NodeId u : sl.miss_nodes) {
+                if (tiered_store_->host_resident(u))
+                    continue;
+                const int owner = sharded_features_->owner_device(u);
+                if (owner != device)
+                    ++rows_by_owner[static_cast<size_t>(owner)];
+            }
+            for (int src = 0; src < num_gpus_; ++src) {
+                const int64_t rows =
+                    rows_by_owner[static_cast<size_t>(src)];
+                if (rows > 0)
+                    peer_s += topo_->transfer(
+                        src, device,
+                        static_cast<uint64_t>(rows) * row_bytes);
+            }
+        }
     } else {
         cost.misses = feature_cache_
                           ? feature_cache_->lookup_batch(unique_nodes)
                           : cost.uniques;
+        if (tiered_store_ && tiered_store_->active())
+            storage_s += tiered_store_->charge_batch(unique_nodes);
     }
     const uint64_t feature_bytes =
         static_cast<uint64_t>(cost.misses) * row_bytes;
@@ -274,7 +313,7 @@ Server::cost_batch(size_t tier, int device,
         spec_.pcie_latency +
         static_cast<double>(bytes) / spec_.pcie_bw +
         static_cast<double>(feature_bytes) / spec_.host_gather_bw +
-        peer_s;
+        peer_s + storage_s;
 
     // Inference is the forward pass only; the dedup factor credits the
     // aggregation work the shared local-ID space avoids recomputing.
@@ -383,6 +422,8 @@ Server::serve(const std::vector<InferenceRequest> &trace)
     }
     if (topo_)
         topo_->reset();
+    if (tiered_store_)
+        tiered_store_->begin_run();
 
     // Cache warmup: seed each tier's embedding cache with the hottest
     // nodes of the recorded ranking at virtual time 0, coldest first
@@ -476,6 +517,12 @@ Server::serve(const std::vector<InferenceRequest> &trace)
         const double start =
             std::max(vs.gpu_free_at[static_cast<size_t>(dev)], at);
         const BatchCost cost = cost_batch(m, dev, batch);
+        // Dispatched requests leave the prefetch window; their staged
+        // blocks (hit or not) stop pinning window references.
+        if (tiered_store_ && tiered_store_->active()) {
+            for (const PendingRequest &pr : batch)
+                tiered_store_->complete_batch(pr.request.id);
+        }
         const double completion = start + cost.service;
         vs.gpu_free_at[static_cast<size_t>(dev)] = completion;
         vs.busy += cost.service;
@@ -664,6 +711,12 @@ Server::serve(const std::vector<InferenceRequest> &trace)
         const compute::ComputeCost cc = cost_model_.training_step(
             tiers_[m].config.model, sampled.sg);
         pending_cost[m] += cc.forward + cc.preprocess;
+        // Admission-time prefetch: the request waits in the batcher
+        // anyway, so its storage blocks can stage now — overlapped
+        // with the batching delay, not stalled at dispatch.
+        if (tiered_store_ && tiered_store_->active())
+            tiered_store_->stage_future_batch(req.id,
+                                              sampled.sg.nodes);
         batchers[m].admit({req, std::move(sampled.sg)}, now);
         if (batchers[m].full())
             dispatch(m, now);
@@ -909,6 +962,10 @@ Server::serve(const std::vector<InferenceRequest> &trace)
     }
     if (topo_)
         st.peer_links = topo_->active_links();
+    if (tiered_store_) {
+        st.store = tiered_store_->stats();
+        st.storage_stall_seconds = st.store.stall_seconds;
+    }
     st.embedding_hit_rate =
         embed_hits + embed_misses
             ? static_cast<double>(embed_hits) /

@@ -70,6 +70,7 @@
 #include "sim/gpu_spec.h"
 #include "sim/kernel_model.h"
 #include "sim/peer_link.h"
+#include "store/tiered_store.h"
 #include "util/bounded_queue.h"
 #include "util/shutdown.h"
 #include "util/stats.h"
@@ -216,6 +217,17 @@ struct ServerOptions
         match::RemotePolicy::kFetchAndCache;
     /** Interconnect shape; num_devices is overridden by num_gpus. */
     sim::PeerTopologyOptions peer;
+    /**
+     * Out-of-core tier (store::TieredFeatureStore): feature rows
+     * beyond the host-DRAM budget live on a modelled NVMe/SSD drive.
+     * A dispatched batch's uncached, non-host-resident rows add their
+     * block-read stall to the batch's modelled IO time; admitted
+     * requests stage their blocks with the prefetcher while they wait
+     * in the batcher, so the stall shrinks to the uncovered tail.
+     * Everything stays on the virtual clock — storage=none runs are
+     * byte-identical to earlier PRs, fingerprints included.
+     */
+    store::TieredStoreOptions storage;
     uint64_t seed = 1;
 
     // --- Test hooks (no-ops when unset; not for production use) ---
@@ -311,6 +323,10 @@ struct ServingStats
     std::vector<match::PartitionCacheCounters> per_partition;
     /** Cumulative traffic of every active interconnect link. */
     std::vector<sim::PeerLinkStats> peer_links;
+    /** Out-of-core tier counters (zero when storage is off). */
+    store::StoreStats store;
+    /** Demand storage-read seconds charged into batch IO time. */
+    double storage_stall_seconds = 0.0;
 
     // --- Measured host-side (vary run to run; never fed back) ---
     double wall_seconds = 0.0;
@@ -393,6 +409,11 @@ class Server
     }
     /** True when a warmup trace seeds the caches (see ServerOptions). */
     bool warmed() const { return !opts_.warmup.empty(); }
+    /** Out-of-core tier (null when ServerOptions::storage is none). */
+    const store::TieredFeatureStore *tiered_store() const
+    {
+        return tiered_store_.get();
+    }
     const ServerOptions &options() const { return opts_; }
 
   private:
@@ -429,6 +450,9 @@ class Server
     graph::Partitioning partitioning_;
     std::optional<match::PartitionedFeatureCache> sharded_features_;
     std::unique_ptr<sim::PeerTopology> topo_;
+    /** Out-of-core tier; null when storage is kNone. Sequencer only
+     *  during serve(), like the caches. */
+    std::unique_ptr<store::TieredFeatureStore> tiered_store_;
     std::vector<Tier> tiers_; ///< >= 1; [0] is the legacy single model.
     int worker_threads_ = 1;
     /**

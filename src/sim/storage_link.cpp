@@ -1,0 +1,55 @@
+#include "sim/storage_link.h"
+
+#include <algorithm>
+
+namespace fastgl {
+namespace sim {
+
+StorageSpec
+nvme_spec()
+{
+    return StorageSpec{};
+}
+
+StorageSpec
+sata_ssd_spec()
+{
+    StorageSpec spec;
+    spec.name = "ssd";
+    spec.read_latency = 400e-6;
+    spec.read_bw = 0.5e9;
+    spec.queue_depth = 32;
+    return spec;
+}
+
+double
+StorageLink::estimate_blocks(int64_t blocks, uint64_t block_bytes,
+                             int inflight) const
+{
+    if (blocks <= 0)
+        return 0.0;
+    const int64_t window =
+        inflight <= 0 ? spec_.queue_depth
+                      : std::min<int64_t>(inflight, spec_.queue_depth);
+    const int64_t rounds = (blocks + window - 1) / window;
+    return static_cast<double>(rounds) * spec_.read_latency +
+           static_cast<double>(blocks) *
+               static_cast<double>(block_bytes) / spec_.read_bw;
+}
+
+double
+StorageLink::read_blocks(int64_t blocks, uint64_t block_bytes,
+                         int inflight)
+{
+    const double t = estimate_blocks(blocks, block_bytes, inflight);
+    if (blocks > 0) {
+        ++reads_;
+        blocks_read_ += blocks;
+        total_bytes_ += static_cast<uint64_t>(blocks) * block_bytes;
+        total_time_ += t;
+    }
+    return t;
+}
+
+} // namespace sim
+} // namespace fastgl

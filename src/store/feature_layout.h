@@ -1,0 +1,71 @@
+/**
+ * @file
+ * On-storage feature layout: the old-id -> storage-slot bijection.
+ *
+ * Block storage serves whole blocks, so what shares a block decides how
+ * many blocks a batch touches. The identity layout stores node u's row
+ * at slot u (whatever order the generator produced); the
+ * partition-ordered layout (BGL's "BFS-locality" format) walks each
+ * graph partition breadth-first and assigns slots in visit order, so
+ * co-sampled neighbourhoods land in consecutive slots — and therefore
+ * in the same storage blocks, which is what makes block prefetch hit.
+ *
+ * The layout is a pure relabelling: gathered feature bytes are
+ * unchanged (the store reads row `slot_of[u]`, which holds exactly
+ * node u's row), only block composition moves.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "graph/feature_store.h"
+#include "graph/partition.h"
+
+namespace fastgl {
+namespace store {
+
+/** A bijective node-id <-> storage-slot mapping. */
+struct FeatureLayout
+{
+    /** slot_of[u] = storage slot of node u's feature row. */
+    std::vector<graph::NodeId> slot_of;
+    /** node_at[s] = node whose row storage slot s holds. */
+    std::vector<graph::NodeId> node_at;
+
+    graph::NodeId
+    num_nodes() const
+    {
+        return static_cast<graph::NodeId>(slot_of.size());
+    }
+
+    bool empty() const { return slot_of.empty(); }
+};
+
+/** Slot s holds node s — the layout of a freshly generated store. */
+FeatureLayout identity_layout(graph::NodeId num_nodes);
+
+/**
+ * Partition-ordered BFS layout: slots are assigned partition-major
+ * (all of partition 0, then partition 1, ...), and inside each
+ * partition in breadth-first visit order over the partition-induced
+ * subgraph, restarting from the lowest-ID unvisited member when the
+ * partition is disconnected. Deterministic for a given (graph, parts);
+ * the result is always a bijection.
+ */
+FeatureLayout partition_ordered_layout(const graph::CsrGraph &graph,
+                                       const graph::Partitioning &parts);
+
+/**
+ * Materialise @p features in @p layout order: row s of the returned
+ * matrix is the feature row of node_at[s], byte for byte. This is the
+ * offline relayout pass a real system would run once before training;
+ * tests use it to prove the slot map round-trips (gathering node u
+ * from slot slot_of[u] is bit-identical to the original row).
+ */
+std::vector<float> relayout_features(const graph::FeatureStore &features,
+                                     const FeatureLayout &layout);
+
+} // namespace store
+} // namespace fastgl

@@ -1,0 +1,76 @@
+#include "store/prefetcher.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fastgl {
+namespace store {
+
+LookaheadPrefetcher::LookaheadPrefetcher(int64_t num_blocks)
+    : num_blocks_(num_blocks)
+{
+    FASTGL_CHECK(num_blocks_ >= 0, "negative block count");
+    refcount_.assign(static_cast<size_t>(num_blocks_), 0);
+    seen_stamp_.assign(static_cast<size_t>(num_blocks_), 0);
+}
+
+std::vector<int64_t>
+LookaheadPrefetcher::register_batch(int64_t batch_id,
+                                    std::span<const int64_t> blocks)
+{
+    ++stamp_;
+    ++stats_.batches_registered;
+    std::vector<int64_t> uniques;
+    std::vector<int64_t> issue;
+    for (int64_t block : blocks) {
+        FASTGL_CHECK(block >= 0 && block < num_blocks_,
+                     "block id out of range");
+        if (seen_stamp_[static_cast<size_t>(block)] == stamp_)
+            continue;
+        seen_stamp_[static_cast<size_t>(block)] = stamp_;
+        ++stats_.blocks_requested;
+        uniques.push_back(block);
+        // First reference in the window issues the read; later batches
+        // piggyback on the same in-flight/staged block.
+        if (refcount_[static_cast<size_t>(block)] == 0) {
+            issue.push_back(block);
+            ++stats_.blocks_issued;
+        } else {
+            ++stats_.blocks_suppressed;
+        }
+        ++refcount_[static_cast<size_t>(block)];
+    }
+    window_.emplace_back(batch_id, std::move(uniques));
+    return issue;
+}
+
+void
+LookaheadPrefetcher::retire_batch(int64_t batch_id)
+{
+    for (size_t i = 0; i < window_.size(); ++i) {
+        if (window_[i].first != batch_id)
+            continue;
+        for (int64_t block : window_[i].second) {
+            FASTGL_CHECK(refcount_[static_cast<size_t>(block)] > 0,
+                         "prefetch refcount underflow");
+            --refcount_[static_cast<size_t>(block)];
+        }
+        window_.erase(window_.begin() +
+                      static_cast<std::ptrdiff_t>(i));
+        return;
+    }
+}
+
+void
+LookaheadPrefetcher::reset()
+{
+    std::fill(refcount_.begin(), refcount_.end(), 0);
+    window_.clear();
+    std::fill(seen_stamp_.begin(), seen_stamp_.end(), 0u);
+    stamp_ = 0;
+    stats_ = PrefetchStats{};
+}
+
+} // namespace store
+} // namespace fastgl

@@ -48,8 +48,30 @@ if [[ "${FASTGL_TSAN:-0}" == "1" ]]; then
     run_config build-tsan -DFASTGL_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-        -R 'BoundedQueue|ThreadPool|AsyncPipeline|Determinism|Serve|StageShutdown|ComputeKernels|Gather|FrequencyHashmap|FeaturePanel|MultiGpu|Partition|PeerTopology'
+        -R 'BoundedQueue|ThreadPool|AsyncPipeline|Determinism|Serve|StageShutdown|ComputeKernels|Gather|FrequencyHashmap|FeaturePanel|MultiGpu|Partition|PeerTopology|OocStore|StorageLink|Prefetch'
 fi
+
+# Gate one archived bench JSON. Every bench archive must parse as JSON
+# — a truncated or crash-interleaved archive used to sail through the
+# old pattern greps (grepping only for a failure marker passes
+# vacuously on garbage) — and must contain the success marker; a
+# present failure marker fails even if the bench's exit code ever
+# regresses.
+bench_gate() {
+    local file="$1" required="$2" forbidden="${3:-}"
+    if ! python3 -m json.tool "$file" > /dev/null; then
+        echo "$file: malformed JSON archive" >&2
+        return 1
+    fi
+    if ! grep -q "$required" "$file"; then
+        echo "$file: success marker missing: $required" >&2
+        return 1
+    fi
+    if [[ -n "$forbidden" ]] && grep -q "$forbidden" "$file"; then
+        echo "$file: failure marker present: $forbidden" >&2
+        return 1
+    fi
+}
 
 if [[ "${FASTGL_NO_PERF:-0}" != "1" ]]; then
     # Perf smoke: Release build of the hot-path before/after benchmark,
@@ -64,6 +86,7 @@ if [[ "${FASTGL_NO_PERF:-0}" != "1" ]]; then
     cmake --build build-perf-ci --target bench_ext_hotpath -j "$JOBS"
     ./build-perf-ci/bench/bench_ext_hotpath --smoke \
         | tee BENCH_hotpath.json
+    bench_gate BENCH_hotpath.json 'identical": true' 'identical": false'
 
     # Serving smoke: sweep the online-inference server and archive the
     # latency/shedding table. The bench itself gates on its virtual-
@@ -75,8 +98,7 @@ if [[ "${FASTGL_NO_PERF:-0}" != "1" ]]; then
     cmake --build build-perf-ci --target bench_ext_serving -j "$JOBS"
     ./build-perf-ci/bench/bench_ext_serving --smoke \
         | tee BENCH_serving.json
-    python3 -m json.tool BENCH_serving.json > /dev/null
-    grep -q '"all_p99_finite": true' BENCH_serving.json
+    bench_gate BENCH_serving.json '"all_p99_finite": true'
 
     # Multi-model serving smoke: two tiers (GCN + GAT) under a mixed
     # paid/standard/best-effort trace, cold vs warm-seeded caches. The
@@ -89,8 +111,7 @@ if [[ "${FASTGL_NO_PERF:-0}" != "1" ]]; then
         -j "$JOBS"
     ./build-perf-ci/bench/bench_ext_serving_multimodel --smoke \
         | tee BENCH_serving_multimodel.json
-    python3 -m json.tool BENCH_serving_multimodel.json > /dev/null
-    grep -q '"ok": true' BENCH_serving_multimodel.json
+    bench_gate BENCH_serving_multimodel.json '"ok": true'
 
     # Compute-kernel smoke: blocked GEMM + reverse-CSR aggregation vs
     # their in-bench legacy replicas. The bench exits non-zero if any
@@ -105,11 +126,8 @@ if [[ "${FASTGL_NO_PERF:-0}" != "1" ]]; then
     cmake --build build-ci --target bench_ext_compute -j "$JOBS"
     ./build-ci/bench/bench_ext_compute --smoke \
         | tee BENCH_compute.json
-    python3 -m json.tool BENCH_compute.json > /dev/null
-    if grep -q '"identical": false' BENCH_compute.json; then
-        echo "compute bench: witness mismatch" >&2
-        exit 1
-    fi
+    bench_gate BENCH_compute.json '"identical": true' \
+        '"identical": false'
 
     # Feature-gather smoke: GatherEngine panels, the fused gather+cache
     # accounting pass, and the one-pass FrequencyHashmap presample vs
@@ -124,11 +142,8 @@ if [[ "${FASTGL_NO_PERF:-0}" != "1" ]]; then
     cmake --build build-ci --target bench_ext_gather -j "$JOBS"
     ./build-ci/bench/bench_ext_gather --smoke \
         | tee BENCH_gather.json
-    python3 -m json.tool BENCH_gather.json > /dev/null
-    if grep -q '"identical": false' BENCH_gather.json; then
-        echo "gather bench: witness mismatch" >&2
-        exit 1
-    fi
+    bench_gate BENCH_gather.json '"identical": true' \
+        '"identical": false'
 
     # Multi-GPU smoke: the N-device timeline grid (symmetric vs
     # factored vs factored+switcher) and the sharded-vs-replicated
@@ -142,8 +157,21 @@ if [[ "${FASTGL_NO_PERF:-0}" != "1" ]]; then
     cmake --build build-perf-ci --target bench_ext_multigpu -j "$JOBS"
     ./build-perf-ci/bench/bench_ext_multigpu --smoke \
         | tee BENCH_multigpu.json
-    python3 -m json.tool BENCH_multigpu.json > /dev/null
-    grep -q '"ok": true' BENCH_multigpu.json
+    bench_gate BENCH_multigpu.json '"ok": true'
+
+    # Out-of-core store smoke: the tiered-feature-store grid (host-DRAM
+    # fraction x prefetch x layout) against an in-memory baseline. The
+    # bench is divergence-fatal (every config replays, one sweeps
+    # thread widths) and gates its virtual-clock claims: losses
+    # bit-identical to in-memory, prefetch cutting the demand stall,
+    # the partition-ordered relayout paying off, and a full host-DRAM
+    # budget reproducing the in-memory epoch exactly. Deterministic,
+    # safe to fail CI on.
+    echo "==> out-of-core store smoke (Release)"
+    cmake --build build-perf-ci --target bench_ext_oocstore -j "$JOBS"
+    ./build-perf-ci/bench/bench_ext_oocstore --smoke \
+        | tee BENCH_oocstore.json
+    bench_gate BENCH_oocstore.json '"ok": true'
 fi
 
 echo "==> CI OK"

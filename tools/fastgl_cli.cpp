@@ -142,6 +142,62 @@ print_partition_traffic(
                     util::human_seconds(link.seconds).c_str());
 }
 
+store::StorageKind
+parse_storage(const std::string &name)
+{
+    if (name == "none")
+        return store::StorageKind::kNone;
+    if (name == "nvme")
+        return store::StorageKind::kNvme;
+    if (name == "ssd")
+        return store::StorageKind::kSsd;
+    util::fatal("unknown storage '" + name + "' (none|nvme|ssd)");
+}
+
+/**
+ * Shared --storage / --host-mem-gb / --prefetch-depth / --relayout
+ * parsing for the train and serve modes (out-of-core tier).
+ */
+store::TieredStoreOptions
+parse_storage_opts(const Args &args, const graph::Dataset &ds)
+{
+    store::TieredStoreOptions storage;
+    storage.storage = parse_storage(args.get("storage", "none"));
+    const std::string gb = args.get("host-mem-gb", "");
+    if (!gb.empty()) {
+        const double bytes = std::stod(gb) * double(uint64_t(1) << 30);
+        storage.host_mem_rows = std::max<int64_t>(
+            0, int64_t(bytes / double(ds.features.row_bytes())));
+    }
+    storage.prefetch_depth =
+        int(args.get_int("prefetch-depth", storage.prefetch_depth));
+    storage.relayout = args.has("relayout");
+    return storage;
+}
+
+/** Shared one-line out-of-core summary for train/serve output. */
+void
+print_store_summary(const store::TieredFeatureStore *ts)
+{
+    if (ts == nullptr || !ts->active())
+        return;
+    const store::StoreStats s = ts->stats();
+    std::printf(
+        "  storage %s%s: %lld/%lld rows in host DRAM | %lld storage "
+        "rows -> %lld blocks (%.1f%% staged, %lld prefetch hits) | "
+        "stall %s, hidden %s\n",
+        store::storage_kind_name(ts->options().storage),
+        ts->options().relayout ? "+relayout" : "",
+        static_cast<long long>(ts->host_rows()),
+        static_cast<long long>(ts->layout().num_nodes()),
+        static_cast<long long>(s.storage_rows),
+        static_cast<long long>(s.demand_blocks),
+        100.0 * s.block_hit_rate(),
+        static_cast<long long>(s.prefetch_hits),
+        util::human_seconds(s.stall_seconds).c_str(),
+        util::human_seconds(s.hidden_seconds).c_str());
+}
+
 compute::ModelType
 parse_model(const std::string &name)
 {
@@ -200,6 +256,16 @@ usage_train()
         "  --save-warmup PATH   record per-node access frequencies\n"
         "                       over all epochs and write a serving\n"
         "                       warmup trace (see serve --warmup)\n"
+        "  --storage S          none|nvme|ssd out-of-core tier for\n"
+        "                       rows beyond the host-DRAM budget\n"
+        "                       (none)\n"
+        "  --host-mem-gb G      host-DRAM feature budget in GiB;\n"
+        "                       fractions allowed (all rows)\n"
+        "  --prefetch-depth N   batches sampled ahead so their\n"
+        "                       storage blocks prefetch; 0 = demand\n"
+        "                       reads only (2)\n"
+        "  --relayout           store features partition-major in BFS\n"
+        "                       order instead of node-ID order (off)\n"
         "  --seed N             RNG seed (3407)\n");
 }
 
@@ -240,6 +306,15 @@ usage_serve()
         "  --partitioner P    bfs|ldg shard partitioner (ldg)\n"
         "  --shard S          sharded|replicated cache layout "
         "(sharded)\n"
+        "storage:\n"
+        "  --storage S        none|nvme|ssd out-of-core tier for rows\n"
+        "                     beyond the host-DRAM budget (none)\n"
+        "  --host-mem-gb G    host-DRAM feature budget in GiB;\n"
+        "                     fractions allowed (all rows)\n"
+        "  --prefetch-depth N prefetch window depth in admitted\n"
+        "                     requests; 0 = demand reads only (2)\n"
+        "  --relayout         store features partition-major in BFS\n"
+        "                     order instead of node-ID order (off)\n"
         "compute:\n"
         "  --logits 0|1       run the real forward per batch and\n"
         "                     fill predictions (0)\n"
@@ -330,6 +405,7 @@ run_train(const Args &args)
     opts.feature_cache_ratio =
         double(args.get_int("cache-pct", opts.num_gpus > 1 ? 20 : 0)) /
         100.0;
+    opts.storage = parse_storage_opts(args, ds);
     const std::string warmup_path = args.get("save-warmup", "");
     opts.record_node_frequencies = !warmup_path.empty();
     core::Trainer trainer(ds, opts);
@@ -364,6 +440,19 @@ run_train(const Args &args)
                         100.0 * stats.shard_totals.hit_rate());
             print_partition_traffic(stats.per_partition,
                                     stats.peer_links);
+        }
+        if (trainer.tiered_store() != nullptr &&
+            trainer.tiered_store()->active()) {
+            print_store_summary(trainer.tiered_store());
+            std::printf("  modelled epoch %s (compute %s + storage "
+                        "stall %s)\n",
+                        util::human_seconds(stats.modelled_epoch_seconds)
+                            .c_str(),
+                        util::human_seconds(
+                            stats.modelled_compute_seconds)
+                            .c_str(),
+                        util::human_seconds(stats.storage_stall_seconds)
+                            .c_str());
         }
         if (opts.record_node_frequencies) {
             if (warmup.frequencies.empty())
@@ -420,6 +509,7 @@ run_serve(const Args &args)
         util::fatal("unknown shard mode '" + shard +
                     "' (sharded|replicated)");
     sopts.seed = uint64_t(args.get_int("seed", 1));
+    sopts.storage = parse_storage_opts(args, ds);
 
     // --model2 hosts a second tier behind the same front door; both
     // tiers inherit the shared batcher/embedding settings.
@@ -503,6 +593,7 @@ run_serve(const Args &args)
     if (st.warmed)
         std::printf("  warmup: %lld embedding rows pre-seeded\n",
                     static_cast<long long>(st.warmed_rows));
+    print_store_summary(server.tiered_store());
     if (st.num_gpus > 1) {
         std::printf("  %d modelled devices (%s, %s): %lld remote "
                     "feature hits, %lld remote embedding hits\n",
