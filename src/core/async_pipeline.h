@@ -22,6 +22,7 @@
 #include <functional>
 
 #include "core/pipeline.h"
+#include "prof/profiler.h"
 #include "util/bounded_queue.h"
 #include "util/shutdown.h"
 
@@ -53,6 +54,17 @@ struct AsyncPipelineOptions
      * Off by default: the modelled clock does not need real bytes.
      */
     bool gather_features = false;
+    /**
+     * Optional per-stage recorder (caller-owned, may be null). The
+     * epoch's per-batch modelled phases are fed into it *after* the
+     * join, replayed from the per-position record array in (gpu,
+     * position) order — never from the concurrent drains, whose
+     * completion order varies with thread count. Feeding is therefore
+     * bit-identical at any thread count, and the modelled EpochResult
+     * is untouched (observation only). Successive epochs accumulate
+     * unless the caller resets the profiler between them.
+     */
+    prof::Profiler *profiler = nullptr;
 
     // --- Test hooks (no-ops when unset; not for production use) ---
     /** Called in a producer thread before sampling batch @p index. */

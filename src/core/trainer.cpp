@@ -4,6 +4,7 @@
 
 #include "sample/frequency_hashmap.h"
 #include "sim/gpu_spec.h"
+#include "sim/kernel_model.h"
 #include "util/logging.h"
 
 namespace fastgl {
@@ -167,6 +168,19 @@ Trainer::train_epoch()
         stats.node_frequencies.assign(
             static_cast<size_t>(dataset_.graph.num_nodes()), 0);
     double loss_sum = 0.0, acc_sum = 0.0;
+    // Per-stage profiling: replay each batch through a virtual
+    // three-stage pipeline (sampler -> gather -> compute) clocked with
+    // the same modelled quantities the cost model produces. Each stage
+    // starts no earlier than its input is ready and no earlier than
+    // its previous batch finished, so the recorded queue waits are the
+    // pipeline's genuine inter-stage stalls. Observation only — the
+    // profiler never feeds anything back into the epoch loop.
+    prof::Profiler profiler(opts_.profile);
+    const sim::GpuSpec prof_spec = sim::rtx3090();
+    const sim::KernelModel prof_kernels(prof_spec);
+    double prof_sampler_free = 0.0;
+    double prof_gather_free = 0.0;
+    double prof_compute_free = 0.0;
     // Sampler lookahead for the storage prefetcher: batches are still
     // sampled strictly in order 0,1,2,... (every RNG stream untouched),
     // but up to prefetch_depth of them sit in this buffer before being
@@ -194,8 +208,10 @@ Trainer::train_epoch()
             for (graph::NodeId u : sg.nodes)
                 ++stats.node_frequencies[static_cast<size_t>(u)];
         }
-        stats.modelled_compute_seconds +=
+        const double batch_compute_s =
             cost_model_.training_step(opts_.model, sg).total();
+        stats.modelled_compute_seconds += batch_compute_s;
+        const double stall_before = stats.storage_stall_seconds;
         if (sharded_features_ && !sg.nodes.empty()) {
             // Batch affinity: the device owning the first seed's
             // partition runs the batch; rows on peer shards charge
@@ -251,6 +267,47 @@ Trainer::train_epoch()
                     tiered_store_->charge_batch(sg.nodes);
             tiered_store_->complete_batch(b);
         }
+        if (opts_.profile) {
+            const int64_t rows =
+                static_cast<int64_t>(sg.nodes.size());
+            const uint64_t row_bytes = dataset_.features.row_bytes();
+            const uint64_t bytes =
+                static_cast<uint64_t>(rows) * row_bytes;
+            const double sample_s =
+                prof_kernels.sample_gpu(sg.edges_examined);
+            const double stall_s =
+                stats.storage_stall_seconds - stall_before;
+            const double gather_s =
+                prof_spec.pcie_latency +
+                static_cast<double>(bytes) / prof_spec.pcie_bw +
+                static_cast<double>(bytes) /
+                    prof_spec.host_gather_bw +
+                stall_s;
+            const double sample_end = prof_sampler_free + sample_s;
+            prof_sampler_free = sample_end;
+            const double gather_start =
+                std::max(sample_end, prof_gather_free);
+            const double gather_end = gather_start + gather_s;
+            prof_gather_free = gather_end;
+            const double compute_start =
+                std::max(gather_end, prof_compute_free);
+            const double device_free_before = prof_compute_free;
+            prof_compute_free = compute_start + batch_compute_s;
+            profiler.record(prof::Stage::kSampler, 0.0, sample_s,
+                            rows);
+            profiler.record(prof::Stage::kGather,
+                            gather_start - sample_end, gather_s,
+                            rows);
+            profiler.record(prof::Stage::kCompute,
+                            compute_start - gather_end,
+                            batch_compute_s, sg.num_seeds);
+            if (tiered_store_ && tiered_store_->active())
+                profiler.record(prof::Stage::kStorage, 0.0, stall_s,
+                                1);
+            profiler.record_device(
+                0, compute_start - device_free_before,
+                batch_compute_s, prof_compute_free);
+        }
         compute::Tensor x = gather_features(sg);
         if (opts_.input_dropout > 0.0f)
             apply_input_dropout(x);
@@ -291,6 +348,8 @@ Trainer::train_epoch()
         stats.store = tiered_store_->stats();
     stats.modelled_epoch_seconds =
         stats.modelled_compute_seconds + stats.storage_stall_seconds;
+    profiler.set_makespan(prof_compute_free);
+    stats.profile = profiler.report();
     return stats;
 }
 

@@ -22,6 +22,7 @@
 #include "match/feature_cache.h"
 #include "match/gather_engine.h"
 #include "match/partitioned_cache.h"
+#include "prof/profiler.h"
 #include "sim/peer_link.h"
 #include "store/tiered_store.h"
 #include "sample/batch_splitter.h"
@@ -95,6 +96,16 @@ struct TrainerOptions
      * bit-identical with storage on or off.
      */
     store::TieredStoreOptions storage;
+    /**
+     * Per-stage profiling (fastgl::prof): replay the epoch's batches
+     * through a virtual sampler -> gather -> compute pipeline (the
+     * same modelled quantities the cost model already produces) and
+     * report queue waits, service percentiles, and device busy/idle
+     * accounting in TrainEpochStats::profile. Pure observation: the
+     * training trajectory — every RNG stream, loss, and parameter —
+     * is bit-identical with profiling on or off.
+     */
+    bool profile = false;
     uint64_t seed = 3407;
 };
 
@@ -139,6 +150,10 @@ struct TrainEpochStats
      *  every row in host DRAM this equals modelled_compute_seconds
      *  exactly — the bench's in-memory baseline. */
     double modelled_epoch_seconds = 0.0;
+    /** Per-stage profile (enabled iff TrainerOptions::profile). The
+     *  compute stage's busy_seconds equals modelled_compute_seconds
+     *  bit-exactly (same values summed in the same order). */
+    prof::ProfileReport profile;
 };
 
 /** Owns the model, optimizer and sampler; runs real training epochs. */

@@ -14,6 +14,7 @@
  *  - fastgl::compute — GCN/GIN/GAT numerics + Memory-Aware cost model
  *  - fastgl::core    — framework presets, epoch pipeline, trainer
  *  - fastgl::serve   — online inference serving (batching, SLO control)
+ *  - fastgl::prof    — deterministic per-stage pipeline profiler
  */
 #pragma once
 
@@ -40,9 +41,11 @@
 #include "match/match.h"
 #include "match/partitioned_cache.h"
 #include "match/reorder.h"
+#include "prof/profiler.h"
 #include "sample/batch_splitter.h"
 #include "sample/neighbor_sampler.h"
 #include "sample/random_walk_sampler.h"
+#include "serve/autoscaler.h"
 #include "serve/load_generator.h"
 #include "serve/server.h"
 #include "sim/gpu_spec.h"

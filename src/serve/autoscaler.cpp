@@ -1,0 +1,100 @@
+#include "serve/autoscaler.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fastgl {
+namespace serve {
+
+Autoscaler::Autoscaler(AutoscalerOptions opts, int initial_workers)
+    : opts_(opts)
+{
+    FASTGL_CHECK(opts_.min_workers >= 1,
+                 "autoscaler needs min_workers >= 1");
+    FASTGL_CHECK(opts_.max_workers >= opts_.min_workers,
+                 "autoscaler needs max_workers >= min_workers");
+    FASTGL_CHECK(opts_.check_interval > 0.0,
+                 "autoscaler needs a positive check interval");
+    (void)initial_workers;
+}
+
+void
+Autoscaler::observe(double now, double wait, double service)
+{
+    (void)now;
+    wait_sum_ += wait;
+    service_sum_ += service;
+    ++observed_;
+}
+
+int
+Autoscaler::maybe_scale(double now, int current_workers)
+{
+    if (now - window_start_ < opts_.check_interval)
+        return 0;
+    const double span = now - window_start_;
+    const double mean_wait =
+        observed_ ? wait_sum_ / static_cast<double>(observed_) : 0.0;
+    const double util =
+        span > 0.0 && current_workers > 0
+            ? service_sum_ /
+                  (span * static_cast<double>(current_workers))
+            : 0.0;
+    // Window consumed whatever the decision: pressure must persist
+    // into the next window to trigger again.
+    window_start_ = now;
+    wait_sum_ = 0.0;
+    service_sum_ = 0.0;
+    observed_ = 0;
+
+    const bool pressured = mean_wait > opts_.wait_high;
+    if (pressured && first_pressure_ < 0.0)
+        first_pressure_ = now;
+    if (now - last_change_ < opts_.cooldown)
+        return 0;
+
+    int target = 0;
+    if (pressured && current_workers < opts_.max_workers) {
+        // Double on pressure: a flash crowd needs capacity now, not
+        // one worker per interval.
+        target = std::min(opts_.max_workers, current_workers * 2);
+    } else if (!pressured && util < opts_.util_low &&
+               current_workers > opts_.min_workers) {
+        target = current_workers - 1;
+    }
+    if (target == 0 || target == current_workers)
+        return 0;
+
+    last_change_ = now;
+    if (target > current_workers && first_up_ < 0.0)
+        first_up_ = now;
+    AutoscaleEvent ev;
+    ev.at = now;
+    ev.workers_before = current_workers;
+    ev.workers_after = target;
+    ev.window_wait = mean_wait;
+    ev.window_util = util;
+    events_.push_back(ev);
+    return target;
+}
+
+AutoscaleReport
+Autoscaler::report(int final_workers) const
+{
+    AutoscaleReport r;
+    r.enabled = opts_.enabled;
+    r.min_workers = opts_.min_workers;
+    r.max_workers = opts_.max_workers;
+    r.final_workers = final_workers;
+    r.events = events_;
+    r.first_pressure_at = first_pressure_;
+    r.first_scale_up_at = first_up_;
+    r.scale_up_lag = first_pressure_ >= 0.0 && first_up_ >= 0.0
+                         ? first_up_ - first_pressure_
+                         : 0.0;
+    return r;
+}
+
+} // namespace serve
+} // namespace fastgl

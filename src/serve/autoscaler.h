@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Profiler-driven autoscaler for the serving sampler-worker pool.
+ *
+ * The Server can model its sampling stage as a finite pool of sampler
+ * workers (ServerOptions::modelled_samplers): each admitted request
+ * occupies the earliest-free virtual worker for its modelled sampling
+ * time before it may join a batch. Under a flash crowd the pool is the
+ * bottleneck — sampler queue waits blow past the SLO long before the
+ * device saturates — and a fixed pool either wastes workers at night
+ * or sheds paid traffic at noon.
+ *
+ * The Autoscaler closes that loop *on the virtual clock*: it windows
+ * the same queue-wait/utilisation observations the prof::Profiler
+ * records, and at deterministic decision points (request arrivals
+ * crossing the check interval) grows or shrinks the worker pool — and,
+ * proportionally, the embedding-cache row budget — within configured
+ * bounds. Every input is a modelled quantity and every decision point
+ * is a trace arrival, so the full decision sequence is bit-identical
+ * across runs and host worker counts (the standing determinism
+ * contract; see docs/traffic.md).
+ *
+ * Like every piece of the serving event machine, an Autoscaler is
+ * single-threaded: only the sequencer touches it during a run.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fastgl {
+namespace serve {
+
+/** Policy knobs of the sampler-pool autoscaler. */
+struct AutoscalerOptions
+{
+    /** Master switch; off leaves the pool at its configured size. */
+    bool enabled = false;
+    /** Pool bounds; the pool starts at min_workers. */
+    int min_workers = 1;
+    int max_workers = 8;
+    /** Virtual seconds between scaling decisions. */
+    double check_interval = 2e-3;
+    /**
+     * Scale up (double, capped at max_workers) when the window's mean
+     * sampler queue wait exceeds this many virtual seconds.
+     */
+    double wait_high = 0.5e-3;
+    /**
+     * Scale down (by one worker, floored at min_workers) when window
+     * pool utilisation falls below this fraction AND the mean wait is
+     * under wait_high — capacity is clearly idle.
+     */
+    double util_low = 0.25;
+    /** Minimum virtual seconds between two scale *changes*. */
+    double cooldown = 4e-3;
+    /**
+     * Embedding-cache budget elasticity: at W workers every tier cache
+     * is resized to base_capacity * (1 + (cache_grow - 1) * (W -
+     * min_workers) / max(1, max_workers - min_workers)). 1.0 pins the
+     * caches at their configured size.
+     */
+    double cache_grow = 1.0;
+};
+
+/** One scaling decision, on the virtual clock. */
+struct AutoscaleEvent
+{
+    double at = 0.0;        ///< Virtual decision time.
+    int workers_before = 0;
+    int workers_after = 0;
+    double window_wait = 0.0; ///< Mean sampler wait of the window.
+    double window_util = 0.0; ///< Pool busy fraction of the window.
+};
+
+/** Autoscaler outcome of one serving run (ServingStats::autoscale). */
+struct AutoscaleReport
+{
+    bool enabled = false;
+    int min_workers = 0;
+    int max_workers = 0;
+    int final_workers = 0;
+    /** Every scale change, in decision order. */
+    std::vector<AutoscaleEvent> events;
+    /** Virtual time pressure first exceeded wait_high (-1 = never). */
+    double first_pressure_at = -1.0;
+    /** Virtual time of the first scale-up (-1 = never scaled up). */
+    double first_scale_up_at = -1.0;
+    /**
+     * first_scale_up_at - first_pressure_at: how long clients waited
+     * between the overload becoming visible and capacity arriving.
+     * 0 when no pressure (or no scale-up) happened.
+     */
+    double scale_up_lag = 0.0;
+};
+
+/** Deterministic virtual-clock autoscaler over the sampler pool. */
+class Autoscaler
+{
+  public:
+    Autoscaler(AutoscalerOptions opts, int initial_workers);
+
+    /** Feed one sampled request: its queue wait and service time. */
+    void observe(double now, double wait, double service);
+
+    /**
+     * Decision point at virtual time @p now (call on every arrival;
+     * cheap no-op inside the check interval). Returns the new worker
+     * count when the pool should change size, or 0 for no change.
+     */
+    int maybe_scale(double now, int current_workers);
+
+    const AutoscalerOptions &options() const { return opts_; }
+
+    /** Report for the finished run. */
+    AutoscaleReport report(int final_workers) const;
+
+  private:
+    AutoscalerOptions opts_;
+    double window_start_ = 0.0;
+    double last_change_ = -1e18;
+    double wait_sum_ = 0.0;
+    double service_sum_ = 0.0;
+    int64_t observed_ = 0;
+    double first_pressure_ = -1.0;
+    double first_up_ = -1.0;
+    std::vector<AutoscaleEvent> events_;
+};
+
+} // namespace serve
+} // namespace fastgl

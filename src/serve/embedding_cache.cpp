@@ -63,5 +63,17 @@ EmbeddingCache::update(graph::NodeId node, double now)
     map_[node] = lru_.begin();
 }
 
+void
+EmbeddingCache::set_capacity(int64_t rows)
+{
+    if (capacity_ <= 0)
+        return; // constructed disabled: stays disabled
+    capacity_ = std::max<int64_t>(1, rows);
+    while (static_cast<int64_t>(map_.size()) > capacity_) {
+        map_.erase(lru_.back().node);
+        lru_.pop_back();
+    }
+}
+
 } // namespace serve
 } // namespace fastgl

@@ -72,6 +72,15 @@ class EmbeddingCache
      */
     void update(graph::NodeId node, double now);
 
+    /**
+     * Elastically resize the row budget (the autoscaler's cache-budget
+     * lever). Shrinking evicts LRU rows immediately; growing takes
+     * effect on the next update(). A cache constructed disabled
+     * (capacity 0) stays disabled — growing it mid-run would create
+     * hit behaviour no fixed configuration could reproduce.
+     */
+    void set_capacity(int64_t rows);
+
     int64_t capacity_rows() const { return capacity_; }
     int64_t size() const { return static_cast<int64_t>(map_.size()); }
     int64_t hits() const { return hits_; }

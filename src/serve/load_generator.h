@@ -23,11 +23,52 @@
 namespace fastgl {
 namespace serve {
 
+/**
+ * Shape of the open-loop arrival-rate curve over virtual time. The
+ * interarrival gap at time t is exponential with the instantaneous
+ * rate lambda(t) — a deterministic thinning-free approximation of an
+ * inhomogeneous Poisson process (exact when the rate is constant over
+ * a gap, and the gaps here are far shorter than the rate's timescale).
+ */
+enum class ArrivalTrace
+{
+    /** lambda(t) = rate_rps (the classic Poisson trace). */
+    kConstant,
+    /**
+     * lambda(t) = rate_rps * (1 + diurnal_amplitude *
+     * sin(2*pi*t/diurnal_period)) — a day/night cycle compressed to
+     * the virtual horizon.
+     */
+    kDiurnal,
+    /**
+     * lambda(t) = rate_rps, except rate_rps * flash_multiplier inside
+     * [flash_start, flash_start + flash_duration) — a flash crowd the
+     * autoscaler must absorb.
+     */
+    kFlashCrowd,
+};
+
+/** Printable trace name ("constant", "diurnal", "flash-crowd"). */
+const char *arrival_trace_name(ArrivalTrace trace);
+
 /** Workload knobs of LoadGenerator. */
 struct LoadGeneratorOptions
 {
     /** Offered load in requests per virtual second. */
     double rate_rps = 2000.0;
+    /** Arrival-rate curve; kConstant replays earlier PRs' traces
+     *  bit-identically. */
+    ArrivalTrace trace = ArrivalTrace::kConstant;
+    /** Virtual seconds per diurnal cycle (kDiurnal). */
+    double diurnal_period = 200e-3;
+    /** Peak-to-mean swing of the diurnal rate in [0, 1) (kDiurnal). */
+    double diurnal_amplitude = 0.6;
+    /** Flash-crowd window start on the virtual clock (kFlashCrowd). */
+    double flash_start = 50e-3;
+    /** Flash-crowd window length in virtual seconds (kFlashCrowd). */
+    double flash_duration = 50e-3;
+    /** Rate multiplier inside the flash window (kFlashCrowd). */
+    double flash_multiplier = 6.0;
     /** Trace length in requests. */
     int64_t num_requests = 1024;
     /** Distinct target nodes per request (clamped to population size). */
@@ -67,6 +108,42 @@ struct LoadGeneratorOptions
     uint64_t seed = 1;
 };
 
+/**
+ * Closed-loop client-pool knobs. Where the open loop fixes the offered
+ * *rate*, the closed loop fixes the client *population*: each of
+ * num_clients keeps at most one request outstanding and thinks for an
+ * exponential gap between its response (or refusal) and its next
+ * request. Offered load therefore self-throttles when the server slows
+ * down — the regime where latency, not shedding, absorbs overload.
+ */
+struct ClosedLoopOptions
+{
+    /** Concurrent clients (each with <= 1 outstanding request). */
+    int num_clients = 16;
+    /** Requests each client issues before leaving. */
+    int64_t requests_per_client = 32;
+    /** Mean exponential think time between response and next issue. */
+    double think_time = 2e-3;
+};
+
+/**
+ * Pre-drawn closed-loop workload. Request *content* (targets, class,
+ * model, SLO budget) is fixed up front — request id k*num_clients + c
+ * is client c's k-th request — so serving workers can speculatively
+ * sample every ego-net while issue times stay a function of server
+ * responses. `requests[id].arrival` is left 0 and `deadline` holds the
+ * *relative* SLO budget; Server::serve_closed stamps absolute times
+ * when the client actually issues the request.
+ */
+struct ClosedLoopScript
+{
+    int num_clients = 0;
+    /** Indexed by id (requests[id].id == id). */
+    std::vector<InferenceRequest> requests;
+    /** think[id] = client think gap *before* issuing request id. */
+    std::vector<double> think;
+};
+
 /** Deterministic open-loop Poisson trace over a node population. */
 class LoadGenerator
 {
@@ -83,9 +160,23 @@ class LoadGenerator
     /** Produce the full trace (sorted by arrival, ids dense from 0). */
     std::vector<InferenceRequest> generate() const;
 
+    /**
+     * Pre-draw a closed-loop script for @p closed clients: request
+     * content comes from the same per-request RNG streams as
+     * generate() (targets/class/model mixes behave identically); only
+     * arrival times are left to the serving event loop.
+     */
+    ClosedLoopScript generate_closed(const ClosedLoopOptions &closed) const;
+
+    /** Instantaneous offered rate lambda(t) of the configured trace. */
+    double rate_at(double t) const;
+
     const LoadGeneratorOptions &options() const { return opts_; }
 
   private:
+    /** Draw targets/class/model/SLO budget for request @p id. */
+    InferenceRequest draw_request(int64_t id) const;
+
     std::vector<graph::NodeId> population_;
     LoadGeneratorOptions opts_;
 };

@@ -5,7 +5,9 @@
 #include <cstring>
 #include <deque>
 #include <exception>
+#include <limits>
 #include <mutex>
+#include <queue>
 #include <thread>
 #include <utility>
 
@@ -57,6 +59,14 @@ struct Server::BatchCost
     double service = 0.0;  ///< Modelled seconds the device is busy.
     int64_t uniques = 0;   ///< Distinct nodes after batch dedup.
     int64_t misses = 0;    ///< Feature rows that crossed PCIe.
+    // --- Component decomposition of `service` (profiler feed). The
+    // --- sum sample_s + id_map_s + io_s + compute_s reproduces
+    // --- `service` bit-exactly (same addition order).
+    double sample_s = 0.0; ///< Sampling term (0 with a sampler pool).
+    double id_map_s = 0.0; ///< Fused-Map batch dedup term.
+    double io_s = 0.0;     ///< PCIe + gather + peer + storage term.
+    double compute_s = 0.0;///< Dedup-credited forward term.
+    double storage_s = 0.0;///< Out-of-core stall inside io_s.
 };
 
 Server::Server(const graph::Dataset &dataset, ServerOptions opts,
@@ -72,6 +82,10 @@ Server::Server(const graph::Dataset &dataset, ServerOptions opts,
     worker_threads_ = std::max(1, opts_.worker_threads);
     opts_.queue_depth = std::max<size_t>(1, opts_.queue_depth);
     opts_.drr_quantum = std::max(1e-9, opts_.drr_quantum);
+    // Autoscaling implies a modelled sampler pool: it needs a pool to
+    // scale. Resolve the implied size here so options() reports it.
+    if (opts_.autoscale.enabled && opts_.modelled_samplers == 0)
+        opts_.modelled_samplers = opts_.autoscale.min_workers;
 
     // Resolve the hosted tiers: either the explicit multi-model list
     // or one tier synthesized from the legacy single-model fields.
@@ -321,9 +335,688 @@ Server::cost_batch(size_t tier, int device,
         uniq_sum > 0 ? static_cast<double>(cost.uniques) /
                            static_cast<double>(uniq_sum)
                      : 1.0;
-    cost.service = sample_s + id_map_s + io_s + compute_sum * dedup;
+    // With a modelled sampler pool the sampling time was charged
+    // per-request at the pool, so the batch excludes it; without one
+    // the decomposition sums bit-exactly to the legacy expression.
+    cost.sample_s = opts_.modelled_samplers > 0 ? 0.0 : sample_s;
+    cost.id_map_s = id_map_s;
+    cost.io_s = io_s;
+    cost.storage_s = storage_s;
+    cost.compute_s = compute_sum * dedup;
+    cost.service =
+        cost.sample_s + cost.id_map_s + cost.io_s + cost.compute_s;
     return cost;
 }
+
+/**
+ * The shared virtual event machine behind serve() and serve_closed():
+ * every batcher, cache, admission decision, profiler record, and
+ * fingerprint fold lives here, driven strictly by one sequencer
+ * thread. serve() replays a fixed arrival-ordered trace through it;
+ * serve_closed() runs a client event loop that decides arrivals as it
+ * goes. Both observe the identical per-request machinery, so the
+ * open-loop fingerprints of earlier PRs are preserved bit-exactly.
+ */
+struct Server::Engine
+{
+    Server &s;
+    std::vector<InferenceResponse> &responses;
+    const size_t num_tiers;
+
+    // ---- Virtual-clock state, owned by the sequencer thread and ----
+    // ---- read by the main thread only after the join.           ----
+    struct VirtualState
+    {
+        /** Per-modelled-device busy-until time; [0] is the whole
+         *  timeline in single-GPU runs. */
+        std::vector<double> gpu_free_at;
+        double last_event = 0.0;
+        double busy = 0.0;
+        double compute_wall = 0.0;   ///< Measured real-forward seconds.
+        int64_t compute_batches = 0; ///< Batches with a real forward.
+        int64_t batch_members = 0;
+        size_t processed = 0;
+        std::deque<double> inflight; ///< Completion times, monotone.
+        uint64_t fingerprint = 0xCBF29CE484222325ULL;
+        ServingStats tallies; ///< Counter/latency fields only.
+    } vs;
+
+    // Per-tier virtual machinery: each hosted model has its own
+    // batcher and one embedding cache per modelled device (a device's
+    // cache holds the embeddings its batches computed); the feature
+    // cache and the dedup table stay shared. Single-GPU runs build
+    // exactly the legacy one-cache-per-tier layout.
+    std::vector<DynamicBatcher> batchers;
+    std::vector<EmbeddingCache> embeddings;
+    std::vector<double> pending_cost; ///< DRR estimate, per tier.
+    DrrScheduler drr;
+    /** Per-stage recorder; a no-op unless ServerOptions::profile. */
+    prof::Profiler profiler;
+    /** Modelled sampler pool: per-worker busy-until times. Empty when
+     *  modelled_samplers == 0 (legacy inline sampling model). */
+    std::vector<double> sampler_free;
+    /** Elastic pool control; engaged iff opts.autoscale.enabled. */
+    std::optional<Autoscaler> scaler;
+    /** Configured embedding capacity per tier (cache elasticity). */
+    std::vector<int64_t> base_cache_rows;
+    /** Closed-loop hook: called once per request with the virtual
+     *  time its fate was decided (completion when served, arrival
+     *  when refused) — the client's think timer starts there. */
+    std::function<void(int64_t id, double at)> decided;
+    int closed_clients = 0; ///< ServingStats::closed_loop_clients.
+
+    Engine(Server &server, std::vector<InferenceResponse> &resp)
+        : s(server),
+          responses(resp),
+          num_tiers(server.tiers_.size()),
+          drr(server.tiers_.size(), server.opts_.drr_quantum),
+          profiler(server.opts_.profile)
+    {
+        vs.tallies.per_model.resize(num_tiers);
+        vs.gpu_free_at.assign(static_cast<size_t>(s.num_gpus_), 0.0);
+        pending_cost.assign(num_tiers, 0.0);
+        batchers.reserve(num_tiers);
+        embeddings.reserve(num_tiers *
+                           static_cast<size_t>(s.num_gpus_));
+        base_cache_rows.reserve(num_tiers);
+        for (const Tier &tier : s.tiers_) {
+            batchers.emplace_back(tier.config.batcher);
+            for (int d = 0; d < s.num_gpus_; ++d)
+                embeddings.emplace_back(tier.embedding);
+            base_cache_rows.push_back(tier.embedding.capacity_rows);
+        }
+        for (size_t m = 0; m < num_tiers; ++m)
+            profiler.set_tier_name(m, s.tiers_[m].config.name);
+        if (s.opts_.modelled_samplers > 0)
+            sampler_free.assign(
+                static_cast<size_t>(s.opts_.modelled_samplers), 0.0);
+        if (s.opts_.autoscale.enabled)
+            scaler.emplace(s.opts_.autoscale,
+                           s.opts_.modelled_samplers);
+        if (s.feature_cache_)
+            s.feature_cache_->reset_stats();
+        if (s.sharded_features_) {
+            s.sharded_features_->reset_stats();
+            s.sharded_features_->reset_overlay();
+        }
+        if (s.topo_)
+            s.topo_->reset();
+        if (s.tiered_store_)
+            s.tiered_store_->begin_run();
+
+        // Cache warmup: seed each tier's embedding cache with the
+        // hottest nodes of the recorded ranking at virtual time 0,
+        // coldest first so the hottest rows end up most-recently-used.
+        // Seeding is part of the virtual world (same trace -> same
+        // seeded state -> same responses), not a side effect of
+        // previous runs.
+        if (!s.opts_.warmup.empty()) {
+            for (size_t m = 0; m < num_tiers; ++m) {
+                for (int d = 0; d < s.num_gpus_; ++d) {
+                    // The hottest rows this device owns (all rows when
+                    // single-GPU), seeded coldest first so the hottest
+                    // end up most-recently-used.
+                    const int64_t cap = std::min<int64_t>(
+                        s.tiers_[m].embedding.capacity_rows,
+                        static_cast<int64_t>(s.ranking_.size()));
+                    std::vector<graph::NodeId> owned;
+                    for (graph::NodeId node : s.ranking_) {
+                        if (static_cast<int64_t>(owned.size()) >= cap)
+                            break;
+                        if (s.home_device(node) == d)
+                            owned.push_back(node);
+                    }
+                    for (size_t i = owned.size(); i-- > 0;)
+                        emb(m, d).update(owned[i], 0.0);
+                    vs.tallies.per_model[m].warmed_rows +=
+                        emb(m, d).size();
+                    vs.tallies.warmed_rows += emb(m, d).size();
+                }
+            }
+            vs.tallies.warmed = true;
+        }
+    }
+
+    EmbeddingCache &
+    emb(size_t m, int d)
+    {
+        return embeddings[m * static_cast<size_t>(s.num_gpus_) +
+                          static_cast<size_t>(d)];
+    }
+
+    double
+    min_free() const
+    {
+        return *std::min_element(vs.gpu_free_at.begin(),
+                                 vs.gpu_free_at.end());
+    }
+
+    void
+    respond(const InferenceRequest &req, Outcome outcome,
+            double completion, int64_t batch_id)
+    {
+        InferenceResponse &resp =
+            responses[static_cast<size_t>(req.id)];
+        resp.outcome = outcome;
+        resp.batch_id = batch_id;
+        PriorityClassStats &cls =
+            vs.tallies.per_class[static_cast<size_t>(req.priority)];
+        ModelTierStats &tier =
+            vs.tallies.per_model[static_cast<size_t>(req.model)];
+        if (is_served(outcome)) {
+            resp.completion = completion;
+            resp.latency = completion - req.arrival;
+            vs.tallies.latencies.add(resp.latency);
+            cls.latencies.add(resp.latency);
+            ++vs.tallies.served;
+            ++cls.served;
+            ++tier.served;
+            if (outcome == Outcome::kServedLate) {
+                ++vs.tallies.served_late;
+                ++cls.served_late;
+            }
+            if (outcome == Outcome::kEmbeddingHit) {
+                ++vs.tallies.embedding_hits;
+                ++cls.embedding_hits;
+                ++tier.embedding_hits;
+            }
+            vs.last_event = std::max(vs.last_event, completion);
+        } else if (outcome == Outcome::kShedQueue) {
+            ++vs.tallies.shed_queue;
+            ++cls.shed_queue;
+        } else if (outcome == Outcome::kDroppedDeadline) {
+            ++vs.tallies.dropped_deadline;
+            ++cls.dropped_deadline;
+        }
+        vs.fingerprint = fnv(vs.fingerprint,
+                             static_cast<uint64_t>(req.id));
+        vs.fingerprint =
+            fnv(vs.fingerprint, static_cast<uint64_t>(outcome));
+        vs.fingerprint =
+            fnv(vs.fingerprint, static_cast<uint64_t>(req.priority));
+        vs.fingerprint =
+            fnv(vs.fingerprint, static_cast<uint64_t>(req.model));
+        vs.fingerprint = fnv(vs.fingerprint, double_bits(resp.latency));
+        // Closed loop: the client's think timer starts the moment its
+        // request's fate is known — completion when served, right at
+        // the refusal otherwise.
+        if (decided)
+            decided(req.id,
+                    is_served(outcome) ? completion : req.arrival);
+    }
+
+    void
+    dispatch(size_t m, double at)
+    {
+        const std::vector<PendingRequest> batch = batchers[m].take();
+        pending_cost[m] = 0.0;
+        drr.reset(m); // queue emptied: no banked credit while idle
+        const int64_t batch_id = vs.tallies.batches++;
+        // Partition-affinity routing: the batch executes on the device
+        // owning its oldest request's first target, where that
+        // partition's hot rows are cached; 0 when single-GPU.
+        const int dev =
+            batch.front().request.targets.empty()
+                ? 0
+                : s.home_device(batch.front().request.targets[0]);
+        const double free_before =
+            vs.gpu_free_at[static_cast<size_t>(dev)];
+        const double start = std::max(free_before, at);
+        const BatchCost cost = s.cost_batch(m, dev, batch);
+        // Dispatched requests leave the prefetch window; their staged
+        // blocks (hit or not) stop pinning window references.
+        if (s.tiered_store_ && s.tiered_store_->active()) {
+            for (const PendingRequest &pr : batch)
+                s.tiered_store_->complete_batch(pr.request.id);
+        }
+        const double completion = start + cost.service;
+        vs.gpu_free_at[static_cast<size_t>(dev)] = completion;
+        vs.busy += cost.service;
+        vs.batch_members += static_cast<int64_t>(batch.size());
+        ModelTierStats &tier = vs.tallies.per_model[m];
+        ++tier.batches;
+        tier.mean_batch_size += static_cast<double>(batch.size());
+        tier.gpu_busy_seconds += cost.service;
+        // Per-stage accounting (pure observation; no feedback). The
+        // sampler stage holds sampling + Fused-Map service (Fused-Map
+        // only when a sampler pool charges sampling per-request), the
+        // sequencer stage holds each member's arrival-to-dispatch
+        // delay, and the device row conserves busy + idle gaps.
+        profiler.record(prof::Stage::kSampler, 0.0,
+                        cost.sample_s + cost.id_map_s,
+                        static_cast<int64_t>(batch.size()));
+        profiler.record(prof::Stage::kGather, 0.0, cost.io_s,
+                        cost.uniques);
+        profiler.record(prof::Stage::kCompute, start - at,
+                        cost.compute_s,
+                        static_cast<int64_t>(batch.size()));
+        if (s.tiered_store_ && s.tiered_store_->active())
+            profiler.record(prof::Stage::kStorage, 0.0,
+                            cost.storage_s, cost.misses);
+        for (const PendingRequest &pr : batch)
+            profiler.record(prof::Stage::kSequencer,
+                            at - pr.request.arrival, 0.0, 1);
+        profiler.record_tier(m, start - at, cost.service,
+                             static_cast<int64_t>(batch.size()));
+        profiler.record_device(dev, start - free_before, cost.service,
+                               completion);
+        vs.fingerprint = fnv(vs.fingerprint,
+                             static_cast<uint64_t>(batch_id));
+        vs.fingerprint = fnv(vs.fingerprint, static_cast<uint64_t>(m));
+        vs.fingerprint = fnv(vs.fingerprint, batch.size());
+        vs.fingerprint = fnv(vs.fingerprint,
+                             static_cast<uint64_t>(cost.uniques));
+        vs.fingerprint = fnv(vs.fingerprint,
+                             static_cast<uint64_t>(cost.misses));
+        vs.fingerprint = fnv(vs.fingerprint, double_bits(completion));
+        // Routed device joins the digest only in multi-GPU runs, so
+        // single-GPU fingerprints stay byte-identical to earlier PRs.
+        if (s.num_gpus_ > 1)
+            vs.fingerprint =
+                fnv(vs.fingerprint, static_cast<uint64_t>(dev));
+        for (const PendingRequest &pr : batch) {
+            respond(pr.request,
+                    completion > pr.request.deadline
+                        ? Outcome::kServedLate
+                        : Outcome::kServed,
+                    completion, batch_id);
+            vs.inflight.push_back(completion);
+            for (graph::NodeId node : pr.request.targets)
+                emb(m, dev).update(node, completion);
+        }
+
+        // Real numeric forward (opt-in): runs on the sequencer thread,
+        // after the virtual accounting, so the modelled world is
+        // untouched. Batch composition is deterministic, the engine is
+        // deterministic at any width, and requests are replayed in
+        // arrival order — so predictions (and the fingerprint words
+        // they add) are bit-identical across runs and thread counts.
+        if (s.tiers_[m].model) {
+            const Clock::time_point c0 = Clock::now();
+            for (const PendingRequest &pr : batch) {
+                const sample::SampledSubgraph &sg = pr.subgraph;
+                // Batched gather into a leased panel, forwarded as a
+                // zero-copy view — no per-request tensor allocation.
+                match::FeaturePanel panel = s.gather_engine_->gather(
+                    s.dataset_.features, sg.nodes);
+                const compute::Tensor x = compute::Tensor::view(
+                    panel.data(), panel.rows(), panel.dim());
+                const compute::Tensor logits =
+                    s.tiers_[m].model->forward(sg, x);
+                std::vector<int> &pred =
+                    responses[static_cast<size_t>(pr.request.id)]
+                        .predicted;
+                pred.resize(static_cast<size_t>(sg.num_seeds));
+                for (int64_t seed = 0; seed < sg.num_seeds; ++seed) {
+                    int best = 0;
+                    for (int64_t c = 1; c < logits.cols(); ++c) {
+                        if (logits.at(seed, c) > logits.at(seed, best))
+                            best = static_cast<int>(c);
+                    }
+                    pred[static_cast<size_t>(seed)] = best;
+                    vs.fingerprint =
+                        fnv(vs.fingerprint,
+                            static_cast<uint64_t>(best));
+                }
+            }
+            vs.compute_wall += seconds_since(c0);
+            ++vs.compute_batches;
+        }
+    }
+
+    // Wait-triggered batch closes up to virtual time @p now. When
+    // several tiers have a closed batch contending for the device,
+    // deficit round robin (costed with the admitted requests' modelled
+    // compute seconds) picks the dispatch order — a cheap tier is not
+    // starved behind an expensive one.
+    void
+    flush_closed(double now)
+    {
+        for (;;) {
+            std::vector<char> ready(num_tiers, 0);
+            size_t num_ready = 0;
+            size_t only = 0;
+            for (size_t m = 0; m < num_tiers; ++m) {
+                if (!batchers[m].empty() &&
+                    batchers[m].close_time() <= now) {
+                    ready[m] = 1;
+                    only = m;
+                    ++num_ready;
+                }
+            }
+            if (num_ready == 0)
+                return;
+            const size_t m = num_ready == 1
+                                 ? only
+                                 : drr.pick(ready, pending_cost);
+            dispatch(m, batchers[m].close_time());
+        }
+    }
+
+    /** End-of-trace drain of the final partial batches, still
+     *  DRR-arbitrated when several tiers hold one. */
+    void
+    drain()
+    {
+        for (;;) {
+            std::vector<char> ready(num_tiers, 0);
+            size_t num_ready = 0;
+            size_t only = 0;
+            for (size_t m = 0; m < num_tiers; ++m) {
+                if (!batchers[m].empty()) {
+                    ready[m] = 1;
+                    only = m;
+                    ++num_ready;
+                }
+            }
+            if (num_ready == 0)
+                break;
+            const size_t m = num_ready == 1
+                                 ? only
+                                 : drr.pick(ready, pending_cost);
+            dispatch(m, batchers[m].close_time());
+        }
+    }
+
+    /** Resize the sampler pool (and the elastic cache budgets) to
+     *  @p target workers at virtual time @p now. */
+    void
+    apply_scale(double now, int target)
+    {
+        const int current = static_cast<int>(sampler_free.size());
+        if (target > current) {
+            // New workers come up free at the decision time; existing
+            // workers keep their committed backlog.
+            sampler_free.resize(static_cast<size_t>(target), now);
+        } else if (target < current) {
+            // Retire the highest-index workers; work they already
+            // accepted was charged to its requests at admission.
+            sampler_free.resize(static_cast<size_t>(target));
+        }
+        const AutoscalerOptions &ao = s.opts_.autoscale;
+        if (ao.cache_grow != 1.0) {
+            const int span =
+                std::max(1, ao.max_workers - ao.min_workers);
+            const double factor =
+                1.0 + (ao.cache_grow - 1.0) *
+                          static_cast<double>(target -
+                                              ao.min_workers) /
+                          static_cast<double>(span);
+            for (size_t m = 0; m < num_tiers; ++m) {
+                const int64_t rows = std::max<int64_t>(
+                    1, static_cast<int64_t>(
+                           static_cast<double>(base_cache_rows[m]) *
+                           factor));
+                for (int d = 0; d < s.num_gpus_; ++d)
+                    emb(m, d).set_capacity(rows);
+            }
+        }
+    }
+
+    void
+    on_request(const InferenceRequest &req,
+               sample::SampledSubgraph sg)
+    {
+        const size_t m = static_cast<size_t>(req.model);
+        const size_t cls = static_cast<size_t>(req.priority);
+        const double now = req.arrival;
+        vs.last_event = std::max(vs.last_event, now);
+        ++vs.tallies.per_class[cls].offered;
+        ++vs.tallies.per_model[m].offered;
+        profiler.record(prof::Stage::kFeeder, 0.0, 0.0, 1);
+
+        // Wait-triggered batch closes that fall before this arrival.
+        flush_closed(now);
+        // Retire requests whose batches completed by now.
+        while (!vs.inflight.empty() && vs.inflight.front() <= now)
+            vs.inflight.pop_front();
+
+        // Elastic capacity: arrivals crossing the check interval are
+        // the deterministic decision points of the autoscaler.
+        if (scaler && !sampler_free.empty()) {
+            const int target = scaler->maybe_scale(
+                now, static_cast<int>(sampler_free.size()));
+            if (target > 0)
+                apply_scale(now, target);
+        }
+
+        // Embedding cache: a request whose every target has a fresh
+        // embedding (from this tier's model) skips sampling, PCIe,
+        // and compute entirely. The home device's cache is checked
+        // first (free hit); in multi-GPU runs a peer device whose
+        // batches computed all the targets serves the hit across the
+        // interconnect instead of re-running the model.
+        const int home =
+            req.targets.empty() ? 0 : s.home_device(req.targets[0]);
+        bool all_fresh =
+            emb(m, home).enabled() && !req.targets.empty();
+        for (graph::NodeId node : req.targets)
+            all_fresh = emb(m, home).lookup(node, now) && all_fresh;
+        if (all_fresh) {
+            respond(req, Outcome::kEmbeddingHit,
+                    now + s.spec_.kernel_launch_latency, -1);
+            return;
+        }
+        if (s.num_gpus_ > 1 && emb(m, home).enabled() &&
+            !req.targets.empty()) {
+            const uint64_t row_bytes =
+                static_cast<uint64_t>(
+                    s.tiers_[m].config.model.hidden_dim) *
+                sizeof(float);
+            for (int d = 0; d < s.num_gpus_; ++d) {
+                if (d == home)
+                    continue;
+                bool fresh = true;
+                for (graph::NodeId node : req.targets)
+                    fresh = emb(m, d).lookup(node, now) && fresh;
+                if (!fresh)
+                    continue;
+                const double hop = s.topo_->transfer(
+                    d, home,
+                    static_cast<uint64_t>(req.targets.size()) *
+                        row_bytes);
+                ++vs.tallies.embedding_remote_hits;
+                respond(req, Outcome::kEmbeddingHit,
+                        now + s.spec_.kernel_launch_latency + hop,
+                        -1);
+                return;
+            }
+        }
+
+        // Admission control. The pending bound is weighted per class:
+        // best-effort traffic is refused while the queue still has
+        // room for standard and paid traffic, so overload sheds in
+        // strict class order.
+        int64_t pending = static_cast<int64_t>(vs.inflight.size());
+        for (const DynamicBatcher &b : batchers)
+            pending += static_cast<int64_t>(b.size());
+        if (s.opts_.admission.max_pending > 0) {
+            const int64_t bound = std::max<int64_t>(
+                1, static_cast<int64_t>(
+                       static_cast<double>(
+                           s.opts_.admission.max_pending) *
+                       s.opts_.admission.class_weight[cls]));
+            if (pending >= bound) {
+                profiler.count_shed(prof::Stage::kFeeder);
+                respond(req, Outcome::kShedQueue, 0.0, -1);
+                return;
+            }
+        }
+        if (s.opts_.admission.early_drop &&
+            std::max(min_free(), now) >=
+                req.deadline -
+                    s.opts_.admission.deadline_headroom[cls]) {
+            profiler.count_drop(prof::Stage::kFeeder);
+            respond(req, Outcome::kDroppedDeadline, 0.0, -1);
+            return;
+        }
+
+        // Admit: the request's modelled compute cost feeds the DRR
+        // arbiter's estimate of what this tier's open batch will
+        // charge the shared device.
+        const compute::ComputeCost cc = s.cost_model_.training_step(
+            s.tiers_[m].config.model, sg);
+        pending_cost[m] += cc.forward + cc.preprocess;
+        // Admission-time prefetch: the request waits in the batcher
+        // anyway, so its storage blocks can stage now — overlapped
+        // with the batching delay, not stalled at dispatch.
+        if (s.tiered_store_ && s.tiered_store_->active())
+            s.tiered_store_->stage_future_batch(req.id, sg.nodes);
+        // Modelled sampler pool: the request occupies the earliest-
+        // free virtual worker for its modelled sampling time before it
+        // may join the batch (the wait here is what the autoscaler
+        // watches). Batch service then excludes the sampling term.
+        double join_at = now;
+        if (!sampler_free.empty()) {
+            size_t w = 0;
+            for (size_t i = 1; i < sampler_free.size(); ++i) {
+                if (sampler_free[i] < sampler_free[w])
+                    w = i;
+            }
+            const double start = std::max(now, sampler_free[w]);
+            const double service =
+                s.kernels_.sample_gpu(sg.edges_examined);
+            sampler_free[w] = start + service;
+            const double wait = start - now;
+            profiler.record(prof::Stage::kSampler, wait, service, 1);
+            if (scaler)
+                scaler->observe(now, wait, service);
+            join_at = sampler_free[w];
+            vs.last_event = std::max(vs.last_event, join_at);
+            // The pool may deliver past pending batch closes; replay
+            // them before this request joins its batcher.
+            if (join_at > now)
+                flush_closed(join_at);
+        }
+        batchers[m].admit({req, std::move(sg)}, join_at);
+        if (batchers[m].full())
+            dispatch(m, join_at);
+    }
+
+    // ---- Fold the virtual world into the report (post-join; the ----
+    // ---- sequencer thread is gone, so plain reads are safe).    ----
+    void
+    finalize()
+    {
+        ServingStats &st = s.stats_;
+        const ServingStats &tl = vs.tallies;
+        st.offered = static_cast<int64_t>(vs.processed);
+        st.served = tl.served;
+        st.served_late = tl.served_late;
+        st.embedding_hits = tl.embedding_hits;
+        st.shed_queue = tl.shed_queue;
+        st.dropped_deadline = tl.dropped_deadline;
+        st.batches = tl.batches;
+        st.mean_batch_size =
+            st.batches ? static_cast<double>(vs.batch_members) /
+                             static_cast<double>(st.batches)
+                       : 0.0;
+        st.makespan = vs.last_event;
+        st.throughput_rps =
+            st.makespan > 0.0
+                ? static_cast<double>(st.served) / st.makespan
+                : 0.0;
+        st.goodput_rps =
+            st.makespan > 0.0
+                ? static_cast<double>(st.served - st.served_late) /
+                      st.makespan
+                : 0.0;
+        st.latencies = tl.latencies;
+        st.mean_latency = st.latencies.mean();
+        const double ps[] = {50.0, 95.0, 99.0};
+        const std::vector<double> pct = st.latencies.percentiles(ps);
+        st.p50_latency = pct[0];
+        st.p95_latency = pct[1];
+        st.p99_latency = pct[2];
+        st.shed_rate =
+            st.offered
+                ? static_cast<double>(st.shed_queue +
+                                      st.dropped_deadline) /
+                      static_cast<double>(st.offered)
+                : 0.0;
+        st.per_class = tl.per_class;
+        const double class_ps[] = {50.0, 99.0};
+        for (PriorityClassStats &cls : st.per_class) {
+            const std::vector<double> cpct =
+                cls.latencies.percentiles(class_ps);
+            cls.p50_latency = cpct[0];
+            cls.p99_latency = cpct[1];
+            cls.shed_rate =
+                cls.offered
+                    ? static_cast<double>(cls.shed_queue +
+                                          cls.dropped_deadline) /
+                          static_cast<double>(cls.offered)
+                    : 0.0;
+        }
+        st.per_model = tl.per_model;
+        int64_t embed_hits = 0, embed_misses = 0;
+        for (size_t m = 0; m < num_tiers; ++m) {
+            ModelTierStats &tier = st.per_model[m];
+            tier.name = s.tiers_[m].config.name;
+            tier.mean_batch_size =
+                tier.batches ? tier.mean_batch_size /
+                                   static_cast<double>(tier.batches)
+                             : 0.0;
+            int64_t th = 0, tm = 0;
+            for (int d = 0; d < s.num_gpus_; ++d) {
+                th += emb(m, d).hits();
+                tm += emb(m, d).misses();
+            }
+            tier.embedding_hit_rate =
+                s.num_gpus_ == 1 ? emb(m, 0).hit_rate()
+                : th + tm        ? static_cast<double>(th) /
+                                  static_cast<double>(th + tm)
+                                 : 0.0;
+            embed_hits += th;
+            embed_misses += tm;
+        }
+        st.warmed = tl.warmed;
+        st.warmed_rows = tl.warmed_rows;
+        st.num_gpus = s.num_gpus_;
+        st.embedding_remote_hits = tl.embedding_remote_hits;
+        if (s.sharded_features_) {
+            const match::PartitionCacheCounters totals =
+                s.sharded_features_->totals();
+            st.feature_hits = totals.local_hits + totals.remote_hits;
+            st.feature_misses = totals.misses;
+            st.feature_hit_rate = totals.hit_rate();
+            st.feature_remote_hits = totals.remote_hits;
+            st.per_partition = s.sharded_features_->per_partition();
+        } else if (s.feature_cache_) {
+            st.feature_hits = s.feature_cache_->hits();
+            st.feature_misses = s.feature_cache_->misses();
+            st.feature_hit_rate = s.feature_cache_->hit_rate();
+        }
+        if (s.topo_)
+            st.peer_links = s.topo_->active_links();
+        if (s.tiered_store_) {
+            st.store = s.tiered_store_->stats();
+            st.storage_stall_seconds = st.store.stall_seconds;
+        }
+        st.embedding_hit_rate =
+            embed_hits + embed_misses
+                ? static_cast<double>(embed_hits) /
+                      static_cast<double>(embed_hits + embed_misses)
+                : 0.0;
+        st.gpu_busy_seconds = vs.busy;
+        st.gpu_utilization =
+            st.makespan > 0.0
+                ? vs.busy / (st.makespan * s.num_gpus_)
+                : 0.0;
+        st.fingerprint = vs.fingerprint;
+        st.compute_seconds = vs.compute_wall;
+        st.compute_batches = vs.compute_batches;
+        if (s.engine_)
+            st.compute_gflops = s.engine_->stats().gemm_gflops();
+        st.modelled_samplers = s.opts_.modelled_samplers;
+        st.closed_loop_clients = closed_clients;
+        if (scaler)
+            st.autoscale = scaler->report(
+                static_cast<int>(sampler_free.size()));
+        profiler.set_makespan(st.makespan);
+        st.profile = profiler.report();
+    }
+};
 
 std::vector<InferenceResponse>
 Server::serve(const std::vector<InferenceRequest> &trace)
@@ -370,357 +1063,7 @@ Server::serve(const std::vector<InferenceRequest> &trace)
         done_queue.fail(error);
     };
 
-    // ---- Virtual-clock state, owned by the sequencer thread and ----
-    // ---- read by the main thread only after the join.           ----
-    struct VirtualState
-    {
-        /** Per-modelled-device busy-until time; [0] is the whole
-         *  timeline in single-GPU runs. */
-        std::vector<double> gpu_free_at;
-        double last_event = 0.0;
-        double busy = 0.0;
-        double compute_wall = 0.0;   ///< Measured real-forward seconds.
-        int64_t compute_batches = 0; ///< Batches with a real forward.
-        int64_t batch_members = 0;
-        size_t processed = 0;
-        std::deque<double> inflight; ///< Completion times, monotone.
-        uint64_t fingerprint = 0xCBF29CE484222325ULL;
-        ServingStats tallies; ///< Counter/latency fields only.
-    } vs;
-    vs.tallies.per_model.resize(num_tiers);
-    vs.gpu_free_at.assign(static_cast<size_t>(num_gpus_), 0.0);
-    auto min_free = [&] {
-        return *std::min_element(vs.gpu_free_at.begin(),
-                                 vs.gpu_free_at.end());
-    };
-
-    // Per-tier virtual machinery: each hosted model has its own
-    // batcher and one embedding cache per modelled device (a device's
-    // cache holds the embeddings its batches computed); the feature
-    // cache and the dedup table stay shared. Single-GPU runs build
-    // exactly the legacy one-cache-per-tier layout.
-    std::vector<DynamicBatcher> batchers;
-    std::vector<EmbeddingCache> embeddings;
-    std::vector<double> pending_cost(num_tiers, 0.0); ///< DRR estimate.
-    batchers.reserve(num_tiers);
-    embeddings.reserve(num_tiers * static_cast<size_t>(num_gpus_));
-    for (const Tier &tier : tiers_) {
-        batchers.emplace_back(tier.config.batcher);
-        for (int d = 0; d < num_gpus_; ++d)
-            embeddings.emplace_back(tier.embedding);
-    }
-    auto emb = [&](size_t m, int d) -> EmbeddingCache & {
-        return embeddings[m * static_cast<size_t>(num_gpus_) +
-                          static_cast<size_t>(d)];
-    };
-    DrrScheduler drr(num_tiers, opts_.drr_quantum);
-    if (feature_cache_)
-        feature_cache_->reset_stats();
-    if (sharded_features_) {
-        sharded_features_->reset_stats();
-        sharded_features_->reset_overlay();
-    }
-    if (topo_)
-        topo_->reset();
-    if (tiered_store_)
-        tiered_store_->begin_run();
-
-    // Cache warmup: seed each tier's embedding cache with the hottest
-    // nodes of the recorded ranking at virtual time 0, coldest first
-    // so the hottest rows end up most-recently-used. Seeding is part
-    // of the virtual world (same trace -> same seeded state -> same
-    // responses), not a side effect of previous runs.
-    if (!opts_.warmup.empty()) {
-        for (size_t m = 0; m < num_tiers; ++m) {
-            for (int d = 0; d < num_gpus_; ++d) {
-                // The hottest rows this device owns (all rows when
-                // single-GPU), seeded coldest first so the hottest end
-                // up most-recently-used.
-                const int64_t cap = std::min<int64_t>(
-                    tiers_[m].embedding.capacity_rows,
-                    static_cast<int64_t>(ranking_.size()));
-                std::vector<graph::NodeId> owned;
-                for (graph::NodeId node : ranking_) {
-                    if (static_cast<int64_t>(owned.size()) >= cap)
-                        break;
-                    if (home_device(node) == d)
-                        owned.push_back(node);
-                }
-                for (size_t i = owned.size(); i-- > 0;)
-                    emb(m, d).update(owned[i], 0.0);
-                vs.tallies.per_model[m].warmed_rows +=
-                    emb(m, d).size();
-                vs.tallies.warmed_rows += emb(m, d).size();
-            }
-        }
-        vs.tallies.warmed = true;
-    }
-
-    auto respond = [&](const InferenceRequest &req, Outcome outcome,
-                       double completion, int64_t batch_id) {
-        InferenceResponse &resp =
-            responses[static_cast<size_t>(req.id)];
-        resp.outcome = outcome;
-        resp.batch_id = batch_id;
-        PriorityClassStats &cls =
-            vs.tallies.per_class[static_cast<size_t>(req.priority)];
-        ModelTierStats &tier =
-            vs.tallies.per_model[static_cast<size_t>(req.model)];
-        if (is_served(outcome)) {
-            resp.completion = completion;
-            resp.latency = completion - req.arrival;
-            vs.tallies.latencies.add(resp.latency);
-            cls.latencies.add(resp.latency);
-            ++vs.tallies.served;
-            ++cls.served;
-            ++tier.served;
-            if (outcome == Outcome::kServedLate) {
-                ++vs.tallies.served_late;
-                ++cls.served_late;
-            }
-            if (outcome == Outcome::kEmbeddingHit) {
-                ++vs.tallies.embedding_hits;
-                ++cls.embedding_hits;
-                ++tier.embedding_hits;
-            }
-            vs.last_event = std::max(vs.last_event, completion);
-        } else if (outcome == Outcome::kShedQueue) {
-            ++vs.tallies.shed_queue;
-            ++cls.shed_queue;
-        } else if (outcome == Outcome::kDroppedDeadline) {
-            ++vs.tallies.dropped_deadline;
-            ++cls.dropped_deadline;
-        }
-        vs.fingerprint = fnv(vs.fingerprint,
-                             static_cast<uint64_t>(req.id));
-        vs.fingerprint =
-            fnv(vs.fingerprint, static_cast<uint64_t>(outcome));
-        vs.fingerprint =
-            fnv(vs.fingerprint, static_cast<uint64_t>(req.priority));
-        vs.fingerprint =
-            fnv(vs.fingerprint, static_cast<uint64_t>(req.model));
-        vs.fingerprint = fnv(vs.fingerprint, double_bits(resp.latency));
-    };
-
-    auto dispatch = [&](size_t m, double at) {
-        const std::vector<PendingRequest> batch = batchers[m].take();
-        pending_cost[m] = 0.0;
-        drr.reset(m); // queue emptied: no banked credit while idle
-        const int64_t batch_id = vs.tallies.batches++;
-        // Partition-affinity routing: the batch executes on the device
-        // owning its oldest request's first target, where that
-        // partition's hot rows are cached; 0 when single-GPU.
-        const int dev =
-            batch.front().request.targets.empty()
-                ? 0
-                : home_device(batch.front().request.targets[0]);
-        const double start =
-            std::max(vs.gpu_free_at[static_cast<size_t>(dev)], at);
-        const BatchCost cost = cost_batch(m, dev, batch);
-        // Dispatched requests leave the prefetch window; their staged
-        // blocks (hit or not) stop pinning window references.
-        if (tiered_store_ && tiered_store_->active()) {
-            for (const PendingRequest &pr : batch)
-                tiered_store_->complete_batch(pr.request.id);
-        }
-        const double completion = start + cost.service;
-        vs.gpu_free_at[static_cast<size_t>(dev)] = completion;
-        vs.busy += cost.service;
-        vs.batch_members += static_cast<int64_t>(batch.size());
-        ModelTierStats &tier = vs.tallies.per_model[m];
-        ++tier.batches;
-        tier.mean_batch_size += static_cast<double>(batch.size());
-        tier.gpu_busy_seconds += cost.service;
-        vs.fingerprint = fnv(vs.fingerprint,
-                             static_cast<uint64_t>(batch_id));
-        vs.fingerprint = fnv(vs.fingerprint, static_cast<uint64_t>(m));
-        vs.fingerprint = fnv(vs.fingerprint, batch.size());
-        vs.fingerprint = fnv(vs.fingerprint,
-                             static_cast<uint64_t>(cost.uniques));
-        vs.fingerprint = fnv(vs.fingerprint,
-                             static_cast<uint64_t>(cost.misses));
-        vs.fingerprint = fnv(vs.fingerprint, double_bits(completion));
-        // Routed device joins the digest only in multi-GPU runs, so
-        // single-GPU fingerprints stay byte-identical to earlier PRs.
-        if (num_gpus_ > 1)
-            vs.fingerprint =
-                fnv(vs.fingerprint, static_cast<uint64_t>(dev));
-        for (const PendingRequest &pr : batch) {
-            respond(pr.request,
-                    completion > pr.request.deadline
-                        ? Outcome::kServedLate
-                        : Outcome::kServed,
-                    completion, batch_id);
-            vs.inflight.push_back(completion);
-            for (graph::NodeId node : pr.request.targets)
-                emb(m, dev).update(node, completion);
-        }
-
-        // Real numeric forward (opt-in): runs on the sequencer thread,
-        // after the virtual accounting, so the modelled world is
-        // untouched. Batch composition is deterministic, the engine is
-        // deterministic at any width, and requests are replayed in
-        // arrival order — so predictions (and the fingerprint words
-        // they add) are bit-identical across runs and thread counts.
-        if (tiers_[m].model) {
-            const Clock::time_point c0 = Clock::now();
-            for (const PendingRequest &pr : batch) {
-                const sample::SampledSubgraph &sg = pr.subgraph;
-                // Batched gather into a leased panel, forwarded as a
-                // zero-copy view — no per-request tensor allocation.
-                match::FeaturePanel panel =
-                    gather_engine_->gather(dataset_.features, sg.nodes);
-                const compute::Tensor x = compute::Tensor::view(
-                    panel.data(), panel.rows(), panel.dim());
-                const compute::Tensor logits =
-                    tiers_[m].model->forward(sg, x);
-                std::vector<int> &pred =
-                    responses[static_cast<size_t>(pr.request.id)]
-                        .predicted;
-                pred.resize(static_cast<size_t>(sg.num_seeds));
-                for (int64_t s = 0; s < sg.num_seeds; ++s) {
-                    int best = 0;
-                    for (int64_t c = 1; c < logits.cols(); ++c) {
-                        if (logits.at(s, c) > logits.at(s, best))
-                            best = static_cast<int>(c);
-                    }
-                    pred[static_cast<size_t>(s)] = best;
-                    vs.fingerprint =
-                        fnv(vs.fingerprint,
-                            static_cast<uint64_t>(best));
-                }
-            }
-            vs.compute_wall += seconds_since(c0);
-            ++vs.compute_batches;
-        }
-    };
-
-    // Wait-triggered batch closes up to virtual time @p now. When
-    // several tiers have a closed batch contending for the device,
-    // deficit round robin (costed with the admitted requests' modelled
-    // compute seconds) picks the dispatch order — a cheap tier is not
-    // starved behind an expensive one.
-    auto flush_closed = [&](double now) {
-        for (;;) {
-            std::vector<char> ready(num_tiers, 0);
-            size_t num_ready = 0;
-            size_t only = 0;
-            for (size_t m = 0; m < num_tiers; ++m) {
-                if (!batchers[m].empty() &&
-                    batchers[m].close_time() <= now) {
-                    ready[m] = 1;
-                    only = m;
-                    ++num_ready;
-                }
-            }
-            if (num_ready == 0)
-                return;
-            const size_t m = num_ready == 1
-                                 ? only
-                                 : drr.pick(ready, pending_cost);
-            dispatch(m, batchers[m].close_time());
-        }
-    };
-
-    auto on_request = [&](Sampled sampled) {
-        const InferenceRequest &req = trace[sampled.index];
-        const size_t m = static_cast<size_t>(req.model);
-        const size_t cls = static_cast<size_t>(req.priority);
-        const double now = req.arrival;
-        vs.last_event = std::max(vs.last_event, now);
-        ++vs.tallies.per_class[cls].offered;
-        ++vs.tallies.per_model[m].offered;
-
-        // Wait-triggered batch closes that fall before this arrival.
-        flush_closed(now);
-        // Retire requests whose batches completed by now.
-        while (!vs.inflight.empty() && vs.inflight.front() <= now)
-            vs.inflight.pop_front();
-
-        // Embedding cache: a request whose every target has a fresh
-        // embedding (from this tier's model) skips sampling, PCIe,
-        // and compute entirely. The home device's cache is checked
-        // first (free hit); in multi-GPU runs a peer device whose
-        // batches computed all the targets serves the hit across the
-        // interconnect instead of re-running the model.
-        const int home =
-            req.targets.empty() ? 0 : home_device(req.targets[0]);
-        bool all_fresh =
-            emb(m, home).enabled() && !req.targets.empty();
-        for (graph::NodeId node : req.targets)
-            all_fresh = emb(m, home).lookup(node, now) && all_fresh;
-        if (all_fresh) {
-            respond(req, Outcome::kEmbeddingHit,
-                    now + spec_.kernel_launch_latency, -1);
-            return;
-        }
-        if (num_gpus_ > 1 && emb(m, home).enabled() &&
-            !req.targets.empty()) {
-            const uint64_t row_bytes =
-                static_cast<uint64_t>(
-                    tiers_[m].config.model.hidden_dim) *
-                sizeof(float);
-            for (int d = 0; d < num_gpus_; ++d) {
-                if (d == home)
-                    continue;
-                bool fresh = true;
-                for (graph::NodeId node : req.targets)
-                    fresh = emb(m, d).lookup(node, now) && fresh;
-                if (!fresh)
-                    continue;
-                const double hop = topo_->transfer(
-                    d, home,
-                    static_cast<uint64_t>(req.targets.size()) *
-                        row_bytes);
-                ++vs.tallies.embedding_remote_hits;
-                respond(req, Outcome::kEmbeddingHit,
-                        now + spec_.kernel_launch_latency + hop, -1);
-                return;
-            }
-        }
-
-        // Admission control. The pending bound is weighted per class:
-        // best-effort traffic is refused while the queue still has
-        // room for standard and paid traffic, so overload sheds in
-        // strict class order.
-        int64_t pending = static_cast<int64_t>(vs.inflight.size());
-        for (const DynamicBatcher &b : batchers)
-            pending += static_cast<int64_t>(b.size());
-        if (opts_.admission.max_pending > 0) {
-            const int64_t bound = std::max<int64_t>(
-                1, static_cast<int64_t>(
-                       static_cast<double>(
-                           opts_.admission.max_pending) *
-                       opts_.admission.class_weight[cls]));
-            if (pending >= bound) {
-                respond(req, Outcome::kShedQueue, 0.0, -1);
-                return;
-            }
-        }
-        if (opts_.admission.early_drop &&
-            std::max(min_free(), now) >=
-                req.deadline -
-                    opts_.admission.deadline_headroom[cls]) {
-            respond(req, Outcome::kDroppedDeadline, 0.0, -1);
-            return;
-        }
-
-        // Admit: the request's modelled compute cost feeds the DRR
-        // arbiter's estimate of what this tier's open batch will
-        // charge the shared device.
-        const compute::ComputeCost cc = cost_model_.training_step(
-            tiers_[m].config.model, sampled.sg);
-        pending_cost[m] += cc.forward + cc.preprocess;
-        // Admission-time prefetch: the request waits in the batcher
-        // anyway, so its storage blocks can stage now — overlapped
-        // with the batching delay, not stalled at dispatch.
-        if (tiered_store_ && tiered_store_->active())
-            tiered_store_->stage_future_batch(req.id,
-                                              sampled.sg.nodes);
-        batchers[m].admit({req, std::move(sampled.sg)}, now);
-        if (batchers[m].full())
-            dispatch(m, now);
-    };
+    Engine machine(*this, responses);
 
     std::mutex merge_mu; ///< Guards stats_.worker_sample_seconds.
 
@@ -813,31 +1156,14 @@ Server::serve(const std::vector<InferenceRequest> &trace)
                     ring[head] = Sampled{};
                     parked[head] = 0;
                     ++next;
-                    on_request(std::move(sampled));
+                    machine.on_request(trace[sampled.index],
+                                       std::move(sampled.sg));
                 }
             }
-            vs.processed = next;
+            machine.vs.processed = next;
             if (next == total) {
-                // Trace exhausted: drain the final partial batches,
-                // still DRR-arbitrated when several tiers hold one.
-                for (;;) {
-                    std::vector<char> ready(num_tiers, 0);
-                    size_t num_ready = 0;
-                    size_t only = 0;
-                    for (size_t m = 0; m < num_tiers; ++m) {
-                        if (!batchers[m].empty()) {
-                            ready[m] = 1;
-                            only = m;
-                            ++num_ready;
-                        }
-                    }
-                    if (num_ready == 0)
-                        break;
-                    const size_t m =
-                        num_ready == 1 ? only
-                                       : drr.pick(ready, pending_cost);
-                    dispatch(m, batchers[m].close_time());
-                }
+                // Trace exhausted: drain the final partial batches.
+                machine.drain();
             }
         } catch (...) {
             fail(std::current_exception());
@@ -870,119 +1196,233 @@ Server::serve(const std::vector<InferenceRequest> &trace)
             std::rethrow_exception(first_error);
     }
 
-    // ---- Fold the virtual world into the report (post-join; the ----
-    // ---- sequencer thread is gone, so plain reads are safe).    ----
-    ServingStats &st = stats_;
-    const ServingStats &tl = vs.tallies;
-    st.offered = static_cast<int64_t>(vs.processed);
-    st.served = tl.served;
-    st.served_late = tl.served_late;
-    st.embedding_hits = tl.embedding_hits;
-    st.shed_queue = tl.shed_queue;
-    st.dropped_deadline = tl.dropped_deadline;
-    st.batches = tl.batches;
-    st.mean_batch_size =
-        st.batches ? static_cast<double>(vs.batch_members) /
-                         static_cast<double>(st.batches)
-                   : 0.0;
-    st.makespan = vs.last_event;
-    st.throughput_rps =
-        st.makespan > 0.0
-            ? static_cast<double>(st.served) / st.makespan
-            : 0.0;
-    st.goodput_rps =
-        st.makespan > 0.0
-            ? static_cast<double>(st.served - st.served_late) /
-                  st.makespan
-            : 0.0;
-    st.latencies = tl.latencies;
-    st.mean_latency = st.latencies.mean();
-    const double ps[] = {50.0, 95.0, 99.0};
-    const std::vector<double> pct = st.latencies.percentiles(ps);
-    st.p50_latency = pct[0];
-    st.p95_latency = pct[1];
-    st.p99_latency = pct[2];
-    st.shed_rate =
-        st.offered
-            ? static_cast<double>(st.shed_queue + st.dropped_deadline) /
-                  static_cast<double>(st.offered)
-            : 0.0;
-    st.per_class = tl.per_class;
-    const double class_ps[] = {50.0, 99.0};
-    for (PriorityClassStats &cls : st.per_class) {
-        const std::vector<double> cpct =
-            cls.latencies.percentiles(class_ps);
-        cls.p50_latency = cpct[0];
-        cls.p99_latency = cpct[1];
-        cls.shed_rate =
-            cls.offered
-                ? static_cast<double>(cls.shed_queue +
-                                      cls.dropped_deadline) /
-                      static_cast<double>(cls.offered)
-                : 0.0;
-    }
-    st.per_model = tl.per_model;
-    int64_t embed_hits = 0, embed_misses = 0;
-    for (size_t m = 0; m < num_tiers; ++m) {
-        ModelTierStats &tier = st.per_model[m];
-        tier.name = tiers_[m].config.name;
-        tier.mean_batch_size =
-            tier.batches ? tier.mean_batch_size /
-                               static_cast<double>(tier.batches)
-                         : 0.0;
-        int64_t th = 0, tm = 0;
-        for (int d = 0; d < num_gpus_; ++d) {
-            th += emb(m, d).hits();
-            tm += emb(m, d).misses();
-        }
-        tier.embedding_hit_rate =
-            num_gpus_ == 1 ? emb(m, 0).hit_rate()
-            : th + tm      ? static_cast<double>(th) /
-                            static_cast<double>(th + tm)
-                           : 0.0;
-        embed_hits += th;
-        embed_misses += tm;
-    }
-    st.warmed = tl.warmed;
-    st.warmed_rows = tl.warmed_rows;
-    st.num_gpus = num_gpus_;
-    st.embedding_remote_hits = tl.embedding_remote_hits;
-    if (sharded_features_) {
-        const match::PartitionCacheCounters totals =
-            sharded_features_->totals();
-        st.feature_hits = totals.local_hits + totals.remote_hits;
-        st.feature_misses = totals.misses;
-        st.feature_hit_rate = totals.hit_rate();
-        st.feature_remote_hits = totals.remote_hits;
-        st.per_partition = sharded_features_->per_partition();
-    } else if (feature_cache_) {
-        st.feature_hits = feature_cache_->hits();
-        st.feature_misses = feature_cache_->misses();
-        st.feature_hit_rate = feature_cache_->hit_rate();
-    }
-    if (topo_)
-        st.peer_links = topo_->active_links();
-    if (tiered_store_) {
-        st.store = tiered_store_->stats();
-        st.storage_stall_seconds = st.store.stall_seconds;
-    }
-    st.embedding_hit_rate =
-        embed_hits + embed_misses
-            ? static_cast<double>(embed_hits) /
-                  static_cast<double>(embed_hits + embed_misses)
-            : 0.0;
-    st.gpu_busy_seconds = vs.busy;
-    st.gpu_utilization =
-        st.makespan > 0.0
-            ? vs.busy / (st.makespan * num_gpus_)
-            : 0.0;
-    st.fingerprint = vs.fingerprint;
-    st.compute_seconds = vs.compute_wall;
-    st.compute_batches = vs.compute_batches;
+    machine.finalize();
+    stats_.work_queue = work_queue.stats();
+    stats_.done_queue = done_queue.stats();
+    return responses;
+}
+
+std::vector<InferenceResponse>
+Server::serve_closed(const ClosedLoopScript &script)
+{
+    stats_ = ServingStats{};
     if (engine_)
-        st.compute_gflops = engine_->stats().gemm_gflops();
-    st.work_queue = work_queue.stats();
-    st.done_queue = done_queue.stats();
+        engine_->reset_stats();
+    const Clock::time_point wall_start = Clock::now();
+    const size_t total = script.requests.size();
+    const size_t num_tiers = tiers_.size();
+    const int num_clients = script.num_clients;
+    FASTGL_CHECK(num_clients > 0,
+                 "closed-loop script needs >= 1 client");
+    FASTGL_CHECK(script.think.size() == total,
+                 "closed-loop script think times != request count");
+    FASTGL_CHECK(total % static_cast<size_t>(num_clients) == 0,
+                 "closed-loop script requests must divide evenly "
+                 "across clients");
+
+    std::vector<InferenceResponse> responses(total);
+    for (size_t i = 0; i < total; ++i) {
+        FASTGL_CHECK(script.requests[i].id == static_cast<int64_t>(i),
+                     "closed-loop script needs dense ids 0..n-1");
+        FASTGL_CHECK(script.requests[i].model >= 0 &&
+                         static_cast<size_t>(
+                             script.requests[i].model) < num_tiers,
+                     "request routed to a model tier the server "
+                     "does not host");
+        responses[i].request_id = script.requests[i].id;
+    }
+
+    struct Sampled
+    {
+        size_t index = 0;
+        sample::SampledSubgraph sg;
+    };
+    util::BoundedQueue<size_t> work_queue(opts_.queue_depth);
+    util::BoundedQueue<Sampled> done_queue(opts_.queue_depth);
+    shutdown_.begin_run([&work_queue, &done_queue] {
+        work_queue.close();
+        done_queue.close();
+    });
+
+    std::mutex error_mu;
+    std::exception_ptr first_error;
+    auto fail = [&](std::exception_ptr error) {
+        {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (!first_error)
+                first_error = error;
+        }
+        work_queue.fail(error);
+        done_queue.fail(error);
+    };
+
+    Engine machine(*this, responses);
+    machine.closed_clients = num_clients;
+
+    // Closed-loop client state: request k of client c carries the
+    // script id k * num_clients + c; the next arrival of a client is
+    // decided by the event machine (decision time + think).
+    const int64_t per_client =
+        static_cast<int64_t>(total) / num_clients;
+    std::vector<int64_t> next_k(static_cast<size_t>(num_clients), 0);
+    using Event = std::pair<double, int>; ///< (arrival, client).
+    std::priority_queue<Event, std::vector<Event>,
+                        std::greater<Event>>
+        arrivals;
+    machine.decided = [&](int64_t id, double at) {
+        const int c = static_cast<int>(id % num_clients);
+        const int64_t k = id / num_clients;
+        if (k + 1 < per_client) {
+            const int64_t next_id = (k + 1) * num_clients + c;
+            arrivals.push({at + script.think[static_cast<size_t>(
+                                    next_id)],
+                           c});
+        }
+    };
+
+    std::mutex merge_mu; ///< Guards stats_.worker_sample_seconds.
+
+    auto worker = [&] {
+        util::SampleStat local;
+        try {
+            std::vector<std::unique_ptr<sample::NeighborSampler>>
+                samplers;
+            samplers.reserve(num_tiers);
+            for (const Tier &tier : tiers_) {
+                sample::NeighborSamplerOptions nopts;
+                nopts.fanouts = tier.config.fanouts;
+                nopts.seed = opts_.seed + 101;
+                samplers.push_back(
+                    std::make_unique<sample::NeighborSampler>(
+                        dataset_.graph, nopts));
+            }
+            for (;;) {
+                const std::optional<size_t> index = work_queue.pop();
+                if (!index)
+                    break; // closed and drained
+                const InferenceRequest &req =
+                    script.requests[*index];
+                if (opts_.sample_hook)
+                    opts_.sample_hook(req.id);
+                const Clock::time_point t0 = Clock::now();
+                Sampled sampled;
+                sampled.index = *index;
+                sampled.sg =
+                    samplers[static_cast<size_t>(req.model)]->sample(
+                        req.targets,
+                        util::derive_seed(
+                            opts_.seed, kSampleStream,
+                            static_cast<uint64_t>(req.id)));
+                local.add(seconds_since(t0));
+                if (!done_queue.push(std::move(sampled)))
+                    break; // closed (stop) or failed
+            }
+        } catch (...) {
+            fail(std::current_exception());
+        }
+        std::lock_guard<std::mutex> lock(merge_mu);
+        stats_.worker_sample_seconds.merge(local);
+    };
+
+    auto sequencer = [&] {
+        try {
+            constexpr double kInf =
+                std::numeric_limits<double>::infinity();
+            // Parked pre-sampled subgraphs, by script id. Unlike the
+            // open loop, the event loop needs ids in *its* order (the
+            // clients' order), so everything the workers deliver is
+            // parked until the loop asks for it.
+            std::vector<sample::SampledSubgraph> parked_sg(total);
+            std::vector<char> have(total, 0);
+            auto obtain = [&](size_t id) -> bool {
+                while (!have[id]) {
+                    std::optional<Sampled> item = done_queue.pop();
+                    if (!item)
+                        return false; // closed (stop) and drained
+                    parked_sg[item->index] = std::move(item->sg);
+                    have[item->index] = 1;
+                }
+                return true;
+            };
+            // Every client thinks once before its first request.
+            for (int c = 0; c < num_clients; ++c)
+                arrivals.push(
+                    {script.think[static_cast<size_t>(c)], c});
+            size_t processed = 0;
+            for (;;) {
+                // Next event: the earliest batch close or the
+                // earliest client arrival, whichever is first (closes
+                // win ties — they were scheduled earlier).
+                double t_close = kInf;
+                for (size_t m = 0; m < num_tiers; ++m) {
+                    if (!machine.batchers[m].empty())
+                        t_close = std::min(
+                            t_close,
+                            machine.batchers[m].close_time());
+                }
+                const double t_arrival =
+                    arrivals.empty() ? kInf : arrivals.top().first;
+                if (t_close == kInf && t_arrival == kInf)
+                    break; // no batches open, no client waiting
+                if (t_close <= t_arrival) {
+                    machine.flush_closed(t_close);
+                    continue;
+                }
+                const Event ev = arrivals.top();
+                arrivals.pop();
+                const int c = ev.second;
+                const int64_t k =
+                    next_k[static_cast<size_t>(c)]++;
+                const size_t id = static_cast<size_t>(
+                    k * num_clients + c);
+                if (!obtain(id))
+                    break; // stop requested
+                // The script carries the *relative* SLO budget; the
+                // event loop stamps the absolute times it decided.
+                InferenceRequest req = script.requests[id];
+                req.arrival = ev.first;
+                req.deadline += ev.first;
+                ++processed;
+                machine.on_request(req, std::move(parked_sg[id]));
+                parked_sg[id] = sample::SampledSubgraph{};
+            }
+            machine.vs.processed = processed;
+        } catch (...) {
+            fail(std::current_exception());
+        }
+    };
+
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(worker_threads_));
+    for (int i = 0; i < worker_threads_; ++i)
+        workers.emplace_back(worker);
+    std::thread sequencer_thread(sequencer);
+
+    // Speculative pre-sampling in script-id order; the event loop
+    // parks out-of-order deliveries until the client owning them
+    // issues its request.
+    for (size_t i = 0; i < total; ++i) {
+        if (!work_queue.push(i))
+            break; // closed (stop) or failed
+    }
+    work_queue.close();
+    for (std::thread &t : workers)
+        t.join();
+    done_queue.close();
+    sequencer_thread.join();
+
+    stats_.wall_seconds = seconds_since(wall_start);
+    stats_.stopped_early = shutdown_.stop_requested();
+    shutdown_.end_run();
+    {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error)
+            std::rethrow_exception(first_error);
+    }
+
+    machine.finalize();
+    stats_.work_queue = work_queue.stats();
+    stats_.done_queue = done_queue.stats();
     return responses;
 }
 

@@ -62,9 +62,12 @@
 #include "match/feature_cache.h"
 #include "match/gather_engine.h"
 #include "match/partitioned_cache.h"
+#include "prof/profiler.h"
 #include "sample/fused_hash_table.h"
+#include "serve/autoscaler.h"
 #include "serve/batcher.h"
 #include "serve/embedding_cache.h"
+#include "serve/load_generator.h"
 #include "serve/request.h"
 #include "serve/scheduler.h"
 #include "sim/gpu_spec.h"
@@ -228,6 +231,30 @@ struct ServerOptions
      * byte-identical to earlier PRs, fingerprints included.
      */
     store::TieredStoreOptions storage;
+    /**
+     * Per-stage profiling (fastgl::prof). Recording only observes the
+     * virtual world, so responses and fingerprints are bit-identical
+     * with profiling on or off — the profiler determinism contract.
+     * The report lands in ServingStats::profile.
+     */
+    bool profile = false;
+    /**
+     * Modelled sampler-worker pool. 0 (the default) keeps the legacy
+     * model where sampling time is charged inside batch service —
+     * byte-identical to earlier PRs. With W > 0, each admitted request
+     * first occupies the earliest-free of W virtual sampler workers
+     * for its modelled sampling time and only then joins its tier's
+     * batcher; batch service then excludes the sampling term. Queue
+     * waits at this pool are what the autoscaler reacts to.
+     */
+    int modelled_samplers = 0;
+    /**
+     * Profiler-driven elastic scaling of the sampler pool (and,
+     * optionally, the embedding-cache budgets); see AutoscalerOptions.
+     * Enabling it implies a modelled sampler pool: modelled_samplers
+     * defaults to autoscale.min_workers when left 0.
+     */
+    AutoscalerOptions autoscale;
     uint64_t seed = 1;
 
     // --- Test hooks (no-ops when unset; not for production use) ---
@@ -327,6 +354,14 @@ struct ServingStats
     store::StoreStats store;
     /** Demand storage-read seconds charged into batch IO time. */
     double storage_stall_seconds = 0.0;
+    /** Per-stage profile (enabled iff ServerOptions::profile). */
+    prof::ProfileReport profile;
+    /** Autoscaler decisions (enabled iff ServerOptions::autoscale). */
+    AutoscaleReport autoscale;
+    /** Sampler pool size the run started with (0 = legacy model). */
+    int modelled_samplers = 0;
+    /** Clients of a closed-loop run (0 = open loop). */
+    int closed_loop_clients = 0;
 
     // --- Measured host-side (vary run to run; never fed back) ---
     double wall_seconds = 0.0;
@@ -360,6 +395,19 @@ class Server
      */
     std::vector<InferenceResponse>
     serve(const std::vector<InferenceRequest> &trace);
+
+    /**
+     * Serve a closed-loop client pool (LoadGenerator::generate_closed):
+     * each of script.num_clients keeps at most one request in flight
+     * and thinks between responses, so offered load self-throttles
+     * when the server slows down. Arrival times are decided by the
+     * virtual event loop (issue = previous decision + think), the
+     * sampling workers still pre-sample speculatively by request id,
+     * and the whole run stays bit-identical at any worker count.
+     * Returns one response per script request, indexed by id.
+     */
+    std::vector<InferenceResponse>
+    serve_closed(const ClosedLoopScript &script);
 
     /**
      * Ask a running serve() to wind down cleanly: queues close, stages
@@ -418,6 +466,10 @@ class Server
 
   private:
     struct BatchCost;
+    /** The shared virtual event machine behind serve()/serve_closed()
+     *  (batchers, caches, admission, dispatch, profiler); defined in
+     *  server.cpp, driven only by the sequencer thread. */
+    struct Engine;
 
     /** One hosted tier's resolved runtime state. */
     struct Tier

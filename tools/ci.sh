@@ -31,12 +31,12 @@ run_config build-ci -DFASTGL_TEST_WERROR=ON
 ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
 # Docs-consistency check: Doxygen in warnings-as-errors mode over the
-# serve + compute headers (docs/Doxyfile-ci), so @param lists that
-# drift from the code fail CI. Skipped, loudly, where doxygen is not
-# installed — the check is a bonus on developer machines, not a new
-# container dependency.
+# serve + compute + prof headers (docs/Doxyfile-ci), so @param lists
+# that drift from the code fail CI. Skipped, loudly, where doxygen is
+# not installed — the check is a bonus on developer machines, not a
+# new container dependency.
 if command -v doxygen > /dev/null 2>&1; then
-    echo "==> doxygen docs check (serve + compute headers, strict)"
+    echo "==> doxygen docs check (serve + compute + prof headers, strict)"
     doxygen docs/Doxyfile-ci
     rm -rf build-docs-ci
 else
@@ -48,7 +48,7 @@ if [[ "${FASTGL_TSAN:-0}" == "1" ]]; then
     run_config build-tsan -DFASTGL_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-        -R 'BoundedQueue|ThreadPool|AsyncPipeline|Determinism|Serve|StageShutdown|ComputeKernels|Gather|FrequencyHashmap|FeaturePanel|MultiGpu|Partition|PeerTopology|OocStore|StorageLink|Prefetch'
+        -R 'BoundedQueue|ThreadPool|AsyncPipeline|Determinism|Serve|StageShutdown|ComputeKernels|Gather|FrequencyHashmap|FeaturePanel|MultiGpu|Partition|PeerTopology|OocStore|StorageLink|Prefetch|Profiler|Autoscale|ClosedLoop'
 fi
 
 # Gate one archived bench JSON. Every bench archive must parse as JSON
@@ -172,6 +172,21 @@ if [[ "${FASTGL_NO_PERF:-0}" != "1" ]]; then
     ./build-perf-ci/bench/bench_ext_oocstore --smoke \
         | tee BENCH_oocstore.json
     bench_gate BENCH_oocstore.json '"ok": true'
+
+    # Traffic-realism smoke: the per-stage profiler, closed-loop client
+    # pool, flash-crowd trace, and sampler-pool autoscaler. The bench
+    # is divergence-fatal (every configuration replays, the closed-loop
+    # and autoscaled runs sweep host worker counts) and gates its
+    # virtual-clock claims: profiling leaves fingerprints bit-identical
+    # at 1/4/8 workers, the closed loop sheds less than the open loop
+    # at matched offered load, the autoscaler cuts flash-crowd SLO
+    # misses vs the fixed minimum pool, and paid-tier isolation holds
+    # throughout. Deterministic, safe to fail CI on.
+    echo "==> traffic-realism smoke (Release)"
+    cmake --build build-perf-ci --target bench_ext_traffic -j "$JOBS"
+    ./build-perf-ci/bench/bench_ext_traffic --smoke \
+        | tee BENCH_traffic.json
+    bench_gate BENCH_traffic.json '"ok": true'
 fi
 
 echo "==> CI OK"

@@ -210,6 +210,37 @@ parse_model(const std::string &name)
     util::fatal("unknown model '" + name + "' (gcn|gin|gat)");
 }
 
+serve::ArrivalTrace
+parse_trace(const std::string &name)
+{
+    if (name == "const" || name == "constant")
+        return serve::ArrivalTrace::kConstant;
+    if (name == "diurnal")
+        return serve::ArrivalTrace::kDiurnal;
+    if (name == "flash")
+        return serve::ArrivalTrace::kFlashCrowd;
+    util::fatal("unknown trace '" + name + "' (const|diurnal|flash)");
+}
+
+/** Write --profile-json output; false (with a message) on failure. */
+bool
+write_profile_json(const std::string &path,
+                   const prof::ProfileReport &report)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write profile JSON to %s\n",
+                     path.c_str());
+        return false;
+    }
+    const std::string json = report.to_json();
+    std::fputs(json.c_str(), f);
+    std::fputs("\n", f);
+    std::fclose(f);
+    std::printf("  wrote profile JSON to %s\n", path.c_str());
+    return true;
+}
+
 void
 usage_model()
 {
@@ -266,6 +297,11 @@ usage_train()
         "                       reads only (2)\n"
         "  --relayout           store features partition-major in BFS\n"
         "                       order instead of node-ID order (off)\n"
+        "  --profile            print the per-stage profiler table\n"
+        "                       after the final epoch; losses are\n"
+        "                       bit-identical on or off (off)\n"
+        "  --profile-json PATH  write the final epoch's profile as\n"
+        "                       JSON (implies --profile)\n"
         "  --seed N             RNG seed (3407)\n");
 }
 
@@ -274,13 +310,20 @@ usage_serve()
 {
     std::printf(
         "usage: fastgl_cli serve [--key value]...\n"
-        "Serve a synthetic Poisson inference trace on the virtual\n"
-        "clock and print latency / shedding / cache statistics.\n"
+        "Serve a synthetic inference trace on the virtual clock and\n"
+        "print latency / shedding / cache statistics.\n"
         "workload:\n"
         "  --dataset D        reddit|products|mag|igb|papers100m "
         "(products)\n"
         "  --rate RPS         offered load, requests/s (20000)\n"
         "  --requests N       trace length (2048)\n"
+        "  --trace T          const|diurnal|flash arrival-rate curve\n"
+        "                     (const)\n"
+        "  --clients N        closed-loop client pool: N clients,\n"
+        "                     each with at most one request in\n"
+        "                     flight; 0 = open-loop Poisson (0)\n"
+        "  --think-us N       mean closed-loop think time between\n"
+        "                     response and next request, us (2000)\n"
         "  --slo-ms N         per-request deadline, ms (20)\n"
         "  --targets N        target nodes per request (1)\n"
         "  --mix-paid PCT     share of paid requests (0)\n"
@@ -300,6 +343,16 @@ usage_serve()
         "                     recorded by train --save-warmup (off)\n"
         "  --threads N        host sampler threads; no effect on\n"
         "                     modelled results (4)\n"
+        "  --samplers N       modelled sampler-worker pool; 0 keeps\n"
+        "                     sampling charged inside batch service\n"
+        "                     as in earlier releases (0)\n"
+        "  --autoscale        autoscale the sampler pool on profiled\n"
+        "                     queue waits (off)\n"
+        "  --autoscale-min N  pool lower bound and start size (1)\n"
+        "  --autoscale-max N  pool upper bound (8)\n"
+        "  --autoscale-cache-pct N\n"
+        "                     embedding-cache budget at max workers,\n"
+        "                     percent of the base budget (100)\n"
         "  --gpus N           modelled devices; caches shard along a\n"
         "                     graph partitioning and batches route to\n"
         "                     their partition's owner (1)\n"
@@ -321,6 +374,11 @@ usage_serve()
         "  --compute-threads N kernel-engine width for --logits 1;\n"
         "                     bit-identical at any width (1)\n"
         "misc:\n"
+        "  --profile          print the per-stage profiler table;\n"
+        "                     fingerprints are bit-identical with\n"
+        "                     profiling on or off (off)\n"
+        "  --profile-json PATH write the profile as JSON (implies\n"
+        "                     --profile)\n"
         "  --scale-pct N      replica scale percent (100)\n"
         "  --seed N           RNG seed (1)\n");
 }
@@ -406,6 +464,8 @@ run_train(const Args &args)
         double(args.get_int("cache-pct", opts.num_gpus > 1 ? 20 : 0)) /
         100.0;
     opts.storage = parse_storage_opts(args, ds);
+    const std::string profile_json = args.get("profile-json", "");
+    opts.profile = args.has("profile") || !profile_json.empty();
     const std::string warmup_path = args.get("save-warmup", "");
     opts.record_node_frequencies = !warmup_path.empty();
     core::Trainer trainer(ds, opts);
@@ -416,8 +476,11 @@ run_train(const Args &args)
                 ds.name.c_str(), epochs,
                 opts.num_gpus > 1 ? ", sharded cache accounting" : "");
     match::WarmupTrace warmup;
+    prof::ProfileReport last_profile;
     for (int e = 0; e < epochs; ++e) {
         const auto stats = trainer.train_epoch();
+        if (opts.profile)
+            last_profile = stats.profile;
         std::printf("epoch %d: loss %.4f, accuracy %.3f | host compute "
                     "%.3fs (%.1f GFLOP/s gemm, %.0f B/edge agg), "
                     "modelled GPU %.3fs\n",
@@ -461,6 +524,12 @@ run_train(const Args &args)
                 for (size_t i = 0; i < warmup.frequencies.size(); ++i)
                     warmup.frequencies[i] += stats.node_frequencies[i];
         }
+    }
+    if (opts.profile) {
+        std::printf("%s", last_profile.to_table().c_str());
+        if (!profile_json.empty() &&
+            !write_profile_json(profile_json, last_profile))
+            return 1;
     }
     if (!warmup_path.empty()) {
         if (match::save_warmup_trace(warmup_path, warmup))
@@ -510,6 +579,18 @@ run_serve(const Args &args)
                     "' (sharded|replicated)");
     sopts.seed = uint64_t(args.get_int("seed", 1));
     sopts.storage = parse_storage_opts(args, ds);
+    const std::string profile_json = args.get("profile-json", "");
+    sopts.profile = args.has("profile") || !profile_json.empty();
+    sopts.modelled_samplers = int(args.get_int("samplers", 0));
+    if (args.has("autoscale")) {
+        sopts.autoscale.enabled = true;
+        sopts.autoscale.min_workers =
+            int(args.get_int("autoscale-min", 1));
+        sopts.autoscale.max_workers =
+            int(args.get_int("autoscale-max", 8));
+        sopts.autoscale.cache_grow =
+            double(args.get_int("autoscale-cache-pct", 100)) / 100.0;
+    }
 
     // --model2 hosts a second tier behind the same front door; both
     // tiers inherit the shared batcher/embedding settings.
@@ -541,6 +622,7 @@ run_serve(const Args &args)
     serve::Server server(ds, sopts);
 
     lopts.rate_rps = double(args.get_int("rate", 20000));
+    lopts.trace = parse_trace(args.get("trace", "const"));
     lopts.num_requests = args.get_int("requests", 2048);
     lopts.targets_per_request = int(args.get_int("targets", 1));
     lopts.slo_deadline =
@@ -549,19 +631,50 @@ run_serve(const Args &args)
                        double(args.get_int("mix-std", 100)),
                        double(args.get_int("mix-be", 0))};
     lopts.seed = sopts.seed + 1;
+
+    // --clients N turns the run into a closed loop: the trace length
+    // is rounded down to a whole number of requests per client.
+    serve::ClosedLoopOptions copts;
+    copts.num_clients = int(args.get_int("clients", 0));
+    if (copts.num_clients > 0) {
+        copts.requests_per_client = std::max<int64_t>(
+            1, lopts.num_requests / copts.num_clients);
+        copts.think_time = double(args.get_int("think-us", 2000)) / 1e6;
+        lopts.num_requests =
+            copts.requests_per_client * copts.num_clients;
+    }
     serve::LoadGenerator gen(server.popularity(), lopts);
 
-    std::printf("serving %s: %lld requests at %.0f rps, SLO %s, "
-                "batch<=%d/%s, %d worker thread(s)%s\n",
-                ds.name.c_str(),
-                static_cast<long long>(lopts.num_requests),
-                lopts.rate_rps,
-                util::human_seconds(lopts.slo_deadline).c_str(),
-                sopts.batcher.max_batch,
-                util::human_seconds(sopts.batcher.max_wait).c_str(),
-                sopts.worker_threads,
-                server.warmed() ? ", warmed caches" : "");
-    server.serve(gen.generate());
+    if (copts.num_clients > 0)
+        std::printf("serving %s: %lld requests from %d closed-loop "
+                    "client(s), think %s, SLO %s, batch<=%d/%s, "
+                    "%d worker thread(s)%s\n",
+                    ds.name.c_str(),
+                    static_cast<long long>(lopts.num_requests),
+                    copts.num_clients,
+                    util::human_seconds(copts.think_time).c_str(),
+                    util::human_seconds(lopts.slo_deadline).c_str(),
+                    sopts.batcher.max_batch,
+                    util::human_seconds(sopts.batcher.max_wait).c_str(),
+                    sopts.worker_threads,
+                    server.warmed() ? ", warmed caches" : "");
+    else
+        std::printf("serving %s: %lld requests at %.0f rps (%s "
+                    "trace), SLO %s, batch<=%d/%s, %d worker "
+                    "thread(s)%s\n",
+                    ds.name.c_str(),
+                    static_cast<long long>(lopts.num_requests),
+                    lopts.rate_rps,
+                    serve::arrival_trace_name(lopts.trace),
+                    util::human_seconds(lopts.slo_deadline).c_str(),
+                    sopts.batcher.max_batch,
+                    util::human_seconds(sopts.batcher.max_wait).c_str(),
+                    sopts.worker_threads,
+                    server.warmed() ? ", warmed caches" : "");
+    if (copts.num_clients > 0)
+        server.serve_closed(gen.generate_closed(copts));
+    else
+        server.serve(gen.generate());
     const serve::ServingStats &st = server.last_stats();
     std::printf(
         "  served %lld/%lld (%lld late, %lld embedding hits) | "
@@ -643,6 +756,34 @@ run_serve(const Args &args)
                     static_cast<long long>(st.compute_batches),
                     util::human_seconds(st.compute_seconds).c_str(),
                     st.compute_gflops);
+    if (st.modelled_samplers > 0 && !st.autoscale.enabled)
+        std::printf("  sampler pool: %d modelled worker(s)\n",
+                    st.modelled_samplers);
+    if (st.autoscale.enabled) {
+        const serve::AutoscaleReport &as = st.autoscale;
+        std::printf("  autoscale: %d -> %d worker(s) in [%d, %d], "
+                    "%zu change(s)\n",
+                    st.modelled_samplers, as.final_workers,
+                    as.min_workers, as.max_workers, as.events.size());
+        if (as.first_pressure_at >= 0.0)
+            std::printf("    first pressure at %s, scale-up lag %s\n",
+                        util::human_seconds(as.first_pressure_at)
+                            .c_str(),
+                        util::human_seconds(as.scale_up_lag).c_str());
+        for (const serve::AutoscaleEvent &ev : as.events)
+            std::printf("    %s: %d -> %d (window wait %s, util "
+                        "%.0f%%)\n",
+                        util::human_seconds(ev.at).c_str(),
+                        ev.workers_before, ev.workers_after,
+                        util::human_seconds(ev.window_wait).c_str(),
+                        100.0 * ev.window_util);
+    }
+    if (sopts.profile) {
+        std::printf("%s", st.profile.to_table().c_str());
+        if (!profile_json.empty() &&
+            !write_profile_json(profile_json, st.profile))
+            return 1;
+    }
     std::printf("  fingerprint 0x%016llx (host wall %s)\n",
                 static_cast<unsigned long long>(st.fingerprint),
                 util::human_seconds(st.wall_seconds).c_str());
